@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates (a reduced-size instance of) one paper
+figure or table and asserts its qualitative shape, so the suite doubles
+as an experiment smoke harness: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def quick_benchmark(benchmark):
+    """A benchmark fixture pinned to few rounds (experiments are slow)."""
+    benchmark._min_rounds = 1
+    return benchmark

@@ -1,0 +1,25 @@
+"""Ablation bench: program mutation on/off (DESIGN.md design choice)."""
+
+import pytest
+
+from repro.experiments import ablation_mutants
+
+
+def test_mutation_ablation(benchmark):
+    results = benchmark.pedantic(
+        ablation_mutants.run, kwargs={"arrivals": 50}, rounds=1, iterations=1
+    )
+    cache = results["cache"]
+    # Without mutants, the pure cache workload is stuck at its compact
+    # footprint: 3 of 20 stages.
+    assert cache["no-mutation"].max_utilization == pytest.approx(3 / 20)
+    # Mutation ladder strictly improves utilization.
+    assert (
+        cache["no-mutation"].max_utilization
+        < cache["mc"].max_utilization
+        < cache["lc"].max_utilization
+    )
+    assert cache["lc"].max_utilization == pytest.approx(1.0)
+    # The mixed workload benefits too.
+    mixed = results["mixed"]
+    assert mixed["no-mutation"].max_utilization <= mixed["mc"].max_utilization

@@ -1,0 +1,22 @@
+"""Figure 11 bench: allocation-scheme comparison."""
+
+from repro.experiments import fig11_schemes
+
+
+def test_fig11_scheme_comparison(benchmark):
+    results = benchmark.pedantic(
+        fig11_schemes.run,
+        kwargs={"epochs": 40, "trials": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(results) == {"wf", "ff", "bf", "realloc"}
+    wf = results["wf"]
+    bf = results["bf"]
+    # Paper: worst fit has a dramatically lower failure rate than the
+    # packing-oriented alternatives.
+    assert wf.failure_rate <= bf.failure_rate + 0.02
+    # Utilization is competitive across schemes.
+    assert wf.utilization.median > 0.3
+    # Fairness stays high for the spreading schemes.
+    assert wf.fairness.median > 0.7

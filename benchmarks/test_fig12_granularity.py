@@ -1,0 +1,17 @@
+"""Figure 12 bench: allocation time vs block granularity."""
+
+from repro.experiments import fig12_granularity
+
+
+def test_fig12_granularity_sweep(benchmark):
+    results = benchmark.pedantic(
+        fig12_granularity.run, kwargs={"arrivals": 30}, rounds=1, iterations=1
+    )
+    for workload, cells in results.items():
+        assert set(cells) == set(fig12_granularity.GRANULARITIES)
+        for cell in cells.values():
+            assert cell.placed + cell.failed == 30
+    # The elastic cache always places; the inelastic load balancer's
+    # byte demand is granularity-invariant and always fits 30 instances.
+    assert all(c.failed == 0 for c in results["cache"].values())
+    assert all(c.failed == 0 for c in results["load-balancer"].values())

@@ -1,0 +1,20 @@
+"""Figure 6 bench: memory utilization vs arrivals (pure workloads)."""
+
+import pytest
+
+from repro.experiments import fig6_utilization
+
+
+def test_fig6_utilization(benchmark):
+    results = benchmark.pedantic(
+        fig6_utilization.run, kwargs={"arrivals": 60}, rounds=1, iterations=1
+    )
+    cache = results["cache"]
+    # Paper: the cache saturates within ~8-9 instances; lc reaches all
+    # stages while mc cannot.
+    assert cache["mc"].arrivals_to_saturation() <= 15
+    assert cache["lc"].max_utilization == pytest.approx(1.0)
+    assert cache["mc"].max_utilization < cache["lc"].max_utilization
+    # The heavy hitter stops being admitted once its stages fill.
+    hh_mc = results["heavy-hitter"]["mc"]
+    assert sum(hh_mc.successes) < 60

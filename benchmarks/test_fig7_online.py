@@ -1,0 +1,20 @@
+"""Figure 7 bench: the online Poisson process (panels a-d)."""
+
+from repro.experiments import fig7_online
+
+
+def test_fig7_online_process(benchmark):
+    results = benchmark.pedantic(
+        fig7_online.run, kwargs={"epochs": 80, "trials": 2}, rounds=1, iterations=1
+    )
+    for policy, result in results.items():
+        # 7a: utilization converges to a substantial plateau (paper ~75%).
+        assert result.final_utilization() > 0.4
+        # 7b: the resident population grows over time.
+        residents = result.mean_residents()
+        assert residents[-1] > residents[0]
+        # 7c: reallocation fraction is a bounded rate.
+        fractions = result.realloc_fraction()
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        # 7d: cache fairness ends high (paper >0.99 for mc).
+        assert result.final_fairness() > 0.8

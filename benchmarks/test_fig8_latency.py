@@ -1,0 +1,46 @@
+"""Figure 8 bench: provisioning breakdown (8a) and RTT probes (8b)."""
+
+from repro.experiments import fig8a_provisioning, fig8b_latency
+
+
+def test_fig8a_provisioning_breakdown(benchmark):
+    result = benchmark.pedantic(
+        fig8a_provisioning.run, kwargs={"epochs": 60}, rounds=1, iterations=1
+    )
+    # Paper: totals level off around a second, dominated by table updates.
+    assert 0.1 < result.plateau_seconds() < 5.0
+    assert result.table_dominance() > 0.8
+    assert max(result.snapshot_seconds) < result.plateau_seconds()
+
+
+def test_fig8b_latency_vs_length(benchmark):
+    result = benchmark.pedantic(fig8b_latency.run, rounds=3, iterations=1)
+    assert result.is_monotone()
+    assert result.passes[10] == 1
+    assert result.passes[30] == 2
+    # Each pass adds ~0.5 us.
+    delta = result.rtt_us[30] - result.rtt_us[10]
+    assert 0.2 < delta < 2.0
+
+
+def test_pipeline_throughput_30_instruction_program(benchmark):
+    """Microbenchmark: simulator packet-processing rate."""
+    from repro.isa import assemble
+    from repro.packets import ActivePacket, MacAddress
+    from repro.switchsim import ActiveSwitch
+
+    switch = ActiveSwitch()
+    client = MacAddress.from_host_id(1)
+    server = MacAddress.from_host_id(2)
+    switch.register_host(client, 1)
+    switch.register_host(server, 2)
+    program = list(assemble("\n".join(["NOP"] * 28 + ["RTS", "RETURN"])))
+
+    def process():
+        packet = ActivePacket.program(
+            src=client, dst=server, fid=1, instructions=list(program)
+        )
+        return switch.receive(packet, in_port=1)
+
+    outputs = benchmark(process)
+    assert outputs and outputs[0].port == 1

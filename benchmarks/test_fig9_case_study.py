@@ -1,0 +1,56 @@
+"""Figures 9a/9b/10 bench: the end-to-end cache case studies."""
+
+from repro.experiments import fig9_case_study
+
+
+def test_fig9a_case_study(benchmark):
+    result = benchmark.pedantic(
+        fig9_case_study.run_case_study,
+        kwargs={
+            "monitor_duration_s": 0.6,
+            "total_duration_s": 3.0,
+            "request_interval_s": 1e-3,
+            "num_keys": 2000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    # Monitor phase: everything reaches the server (hit rate 0).
+    assert result.phase_hit_rate(0.0, result.switch_started_at) == 0.0
+    # Frequent items were extracted and the context switch completed.
+    assert result.extracted_keys > 50
+    assert result.cache_allocated_at is not None
+    # The hit rate stabilizes high after population.
+    assert result.phase_hit_rate(2.5, 3.0) > 0.5
+
+
+def test_fig9b_fig10_multi_tenant(benchmark):
+    result = benchmark.pedantic(
+        fig9_case_study.run_multi_tenant,
+        kwargs={
+            "stagger_s": 1.5,
+            "settle_s": 2.5,
+            "request_interval_s": 1e-3,
+            "num_keys": 2000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    fids = sorted(result.per_client_events)
+    rates = {fid: result.stable_hit_rate(fid) for fid in fids}
+    # 9b: the stage-sharing pair (first + fourth) converge to equal but
+    # lower hit rates than the exclusive tenants.
+    sharing = (rates[fids[0]] + rates[fids[-1]]) / 2
+    exclusive = (rates[fids[1]] + rates[fids[2]]) / 2
+    assert sharing < exclusive
+    assert abs(rates[fids[0]] - rates[fids[-1]]) < 0.15
+    # 10: the incumbent's disruption is a sub-second window (~150 ms).
+    disruption = result.disruption_window(
+        fids[0], result.arrival_times[fids[-1]]
+    )
+    assert 0.01 < disruption < 1.0
+    # Only the reallocated incumbent is disrupted; tenant 2 is not.
+    undisturbed = result.disruption_window(
+        fids[1], result.arrival_times[fids[-1]]
+    )
+    assert undisturbed <= disruption

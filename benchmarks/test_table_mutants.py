@@ -1,0 +1,26 @@
+"""Section 6.1/5/6.2 tables bench: mutant census and baselines."""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_mutant_census(benchmark):
+    census = benchmark(tables.run_mutant_census)
+    counts = census.counts
+    # Paper mc census: 34 (cache) / 1 (heavy hitter) / 5 (load balancer).
+    assert counts["heavy-hitter"]["mc"] == 1
+    assert 10 <= counts["cache"]["mc"] <= 100
+    assert 1 <= counts["load-balancer"]["mc"] <= 20
+    # lc is orders of magnitude larger for the cache (paper: 915 vs 34).
+    assert counts["cache"]["lc"] > 10 * counts["cache"]["mc"]
+
+
+def test_overheads_comparison(benchmark):
+    result = benchmark(tables.run_overheads)
+    assert result.monolith_max_instances == 22
+    assert result.monolith_compile_seconds == pytest.approx(28.79, abs=0.1)
+    # Provisioning beats recompilation by more than an order of magnitude.
+    ratio = result.monolith_compile_seconds / result.activermt_provisioning_seconds
+    assert ratio > 10
+    assert result.netvrm_usable_fraction < 0.5 < result.activermt_usable_fraction

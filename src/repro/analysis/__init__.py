@@ -1,0 +1,11 @@
+"""Statistics helpers used across experiments."""
+
+from repro.analysis.stats import (
+    ewma,
+    percentile,
+    summarize,
+    Summary,
+    windowed_rate,
+)
+
+__all__ = ["ewma", "percentile", "summarize", "Summary", "windowed_rate"]

@@ -1,0 +1,109 @@
+"""Small statistics utilities (EWMA smoothing, percentiles, summaries).
+
+The paper smooths noisy per-epoch series with exponentially weighted
+moving averages (alpha = 0.1 in Figure 5b, 0.6 in Figure 7c); these
+helpers reproduce that presentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence, Tuple
+
+
+def ewma(values: Sequence[float], alpha: float) -> List[float]:
+    """Exponentially weighted moving average of a series.
+
+    ``out[i] = alpha * values[i] + (1 - alpha) * out[i-1]``, seeded
+    with the first observation.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError("alpha must be in (0, 1]")
+    out: List[float] = []
+    for value in values:
+        if not out:
+            out.append(float(value))
+        else:
+            out.append(alpha * float(value) + (1 - alpha) * out[-1])
+    return out
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a series."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics used for the Figure 11 box plots."""
+    if not values:
+        raise ValueError("no values")
+    floats = [float(v) for v in values]
+    return Summary(
+        count=len(floats),
+        mean=sum(floats) / len(floats),
+        minimum=min(floats),
+        p25=percentile(floats, 25),
+        median=percentile(floats, 50),
+        p75=percentile(floats, 75),
+        maximum=max(floats),
+    )
+
+
+def windowed_rate(
+    events: Sequence[Tuple[float, bool]], window: float
+) -> List[Tuple[float, float]]:
+    """Success rate of timestamped boolean events over tumbling windows.
+
+    Used to turn per-request hit/miss logs into the hit-rate timelines
+    of Figures 9 and 10.  Returns ``(window_end_time, rate)`` pairs;
+    windows with no events are emitted with rate 0.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not events:
+        return []
+    out: List[Tuple[float, float]] = []
+    end = events[0][0] + window
+    hits = 0
+    total = 0
+    index = 0
+    while index < len(events):
+        timestamp, success = events[index]
+        if timestamp < end:
+            total += 1
+            hits += 1 if success else 0
+            index += 1
+        else:
+            out.append((end, hits / total if total else 0.0))
+            hits = 0
+            total = 0
+            end += window
+    out.append((end, hits / total if total else 0.0))
+    return out

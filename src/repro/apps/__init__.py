@@ -1,0 +1,47 @@
+"""Exemplar active services (Section 6.1 and Appendix B).
+
+Three applications drive every evaluation in the paper:
+
+- the **in-network cache** (elastic; Listing 1 plus populate programs),
+- the **frequent-item / heavy-hitter monitor** (inelastic, 16-block
+  CMS rows; Listing 2), and
+- the **Cheetah load balancer** (inelastic, 2 blocks; Listings 3-4).
+
+Each module exports the active program(s), the derived
+:class:`~repro.core.constraints.AccessPattern`, and a client-side
+service class that builds/parses the packets.
+"""
+
+from repro.apps.base import AppSpec, EXEMPLAR_APPS, app_by_name
+from repro.apps.cache import (
+    cache_query_program,
+    cache_pattern,
+    CacheClient,
+)
+from repro.apps.heavy_hitter import (
+    heavy_hitter_program,
+    heavy_hitter_pattern,
+    HeavyHitterClient,
+)
+from repro.apps.cheetah_lb import (
+    lb_selection_program,
+    lb_routing_program,
+    lb_pattern,
+    CheetahLbClient,
+)
+
+__all__ = [
+    "AppSpec",
+    "EXEMPLAR_APPS",
+    "app_by_name",
+    "cache_query_program",
+    "cache_pattern",
+    "CacheClient",
+    "heavy_hitter_program",
+    "heavy_hitter_pattern",
+    "HeavyHitterClient",
+    "lb_selection_program",
+    "lb_routing_program",
+    "lb_pattern",
+    "CheetahLbClient",
+]

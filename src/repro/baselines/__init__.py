@@ -1,0 +1,15 @@
+"""Comparison baselines (Sections 2, 5, 6.1-6.2).
+
+- :mod:`repro.baselines.p4_monolith` -- the monolithic P4 composition
+  model: how many isolated instances fit in one binary, and how long
+  compiling it takes (the 28.79-second data point).
+- :mod:`repro.baselines.netvrm` -- a NetVRM-style page-table memory
+  virtualization model, reproducing its power-of-two page constraint
+  and the <50% usable-resource overhead the paper contrasts with
+  ActiveRMT's 83%.
+"""
+
+from repro.baselines.p4_monolith import P4MonolithModel
+from repro.baselines.netvrm import NetVrmModel
+
+__all__ = ["P4MonolithModel", "NetVrmModel"]

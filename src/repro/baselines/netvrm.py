@@ -1,0 +1,92 @@
+"""A NetVRM-style memory-virtualization baseline (Sections 2.3 and 5).
+
+NetVRM virtualizes register memory behind runtime page-table
+translation.  Its published constraints, reproduced here:
+
+- page sizes come from a **fixed, power-of-two set chosen at compile
+  time** (ActiveRMT allocates arbitrary block counts),
+- address translation costs **two extra stages** per memory access and
+  constrains the addressable region per stage to a power of two, so
+  "less than half of the match-action stage resources are available to
+  application programs" -- versus ActiveRMT's 83%,
+- stages are allocated coarsely (an application cannot pick memory on
+  a per-stage basis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+from repro.switchsim.config import SwitchConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class NetVrmModel:
+    """Resource model of NetVRM-style register virtualization.
+
+    Attributes:
+        config: the device being virtualized.
+        page_sizes_bytes: the compile-time page-size menu.
+        translation_stages_per_access: pipeline stages consumed by
+            virtual-to-physical translation for each memory access.
+    """
+
+    config: SwitchConfig = dataclasses.field(default_factory=SwitchConfig)
+    page_sizes_bytes: Tuple[int, ...] = (1024, 4096, 16384, 65536)
+    translation_stages_per_access: int = 2
+
+    def __post_init__(self) -> None:
+        for size in self.page_sizes_bytes:
+            if size & (size - 1):
+                raise ValueError("NetVRM page sizes are powers of two")
+
+    # ------------------------------------------------------------------
+    # Stage-resource overhead (the Section 5 comparison)
+    # ------------------------------------------------------------------
+
+    def usable_stage_fraction(self) -> float:
+        """Fraction of stage resources left for application programs.
+
+        The addressable region per stage is capped at the largest
+        power of two not exceeding the stage memory (a wash at
+        power-of-two configs), but translation occupies match-action
+        resources in every stage: two translation stages amortized per
+        memory-access stage plus the page-table lookup in the access
+        stage itself.
+        """
+        per_access_stages = 1 + self.translation_stages_per_access
+        return 1.0 / per_access_stages
+
+    @staticmethod
+    def activermt_stage_fraction() -> float:
+        """The paper's measurement: 83% of stage resources remain."""
+        return 0.83
+
+    # ------------------------------------------------------------------
+    # Allocation granularity
+    # ------------------------------------------------------------------
+
+    def round_to_page(self, demand_bytes: int) -> int:
+        """Smallest page-menu size covering a demand (internal
+        fragmentation is the difference)."""
+        if demand_bytes <= 0:
+            raise ValueError("demand must be positive")
+        for size in sorted(self.page_sizes_bytes):
+            if size >= demand_bytes:
+                return size
+        # Demands above the menu take multiple max-size pages.
+        biggest = max(self.page_sizes_bytes)
+        pages = -(-demand_bytes // biggest)
+        return pages * biggest
+
+    def fragmentation_bytes(self, demand_bytes: int) -> int:
+        return self.round_to_page(demand_bytes) - demand_bytes
+
+    def fragmentation_fraction(self, demands_bytes: Sequence[int]) -> float:
+        """Aggregate internal fragmentation across a set of demands."""
+        if not demands_bytes:
+            return 0.0
+        granted = sum(self.round_to_page(d) for d in demands_bytes)
+        wanted = sum(demands_bytes)
+        return (granted - wanted) / granted if granted else 0.0

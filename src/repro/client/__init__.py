@@ -1,0 +1,41 @@
+"""Client-side support: compiler, shim layer, and memory synchronization.
+
+Mirrors the paper's DPDK/VirtIO client stack (Section 5):
+
+- :mod:`repro.client.compiler` -- compiles programs to access patterns,
+  synthesizes the mutant matching an allocation response, and performs
+  client-side address translation (the "linking" of Section 3.2).
+- :mod:`repro.client.shim` -- the per-service state machine
+  (operational / negotiating / memory-management) that encapsulates
+  traffic and reacts to controller packets.
+- :mod:`repro.client.memsync` -- RDMA-style active programs for remote
+  memory reads/writes and bulk state extraction (Appendix C).
+"""
+
+from repro.client.compiler import (
+    ActiveCompiler,
+    CompilationError,
+    SynthesizedProgram,
+)
+from repro.client.shim import ClientShim, ShimState, ShimError
+from repro.client.memsync import (
+    build_read_packet,
+    build_write_packet,
+    build_multi_read_packet,
+    extract_read_value,
+    MemSyncError,
+)
+
+__all__ = [
+    "ActiveCompiler",
+    "CompilationError",
+    "SynthesizedProgram",
+    "ClientShim",
+    "ShimState",
+    "ShimError",
+    "build_read_packet",
+    "build_write_packet",
+    "build_multi_read_packet",
+    "extract_read_value",
+    "MemSyncError",
+]

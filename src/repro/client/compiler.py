@@ -1,0 +1,188 @@
+"""The client compiler (Section 5, "Client compiler").
+
+Given a compact active program, the compiler:
+
+1. derives the memory-access pattern (LB/B vectors, ingress
+   constraints) that goes into the allocation request,
+2. upon receiving an allocation response, synthesizes the mutant whose
+   access stages match the granted stages (NOP padding), and
+3. translates the program's logical addresses into the granted physical
+   regions -- the client-side "linking" that lets the switch enforce
+   protection without performing translation (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.constraints import (
+    AccessPattern,
+    AllocationPolicy,
+    LEAST_CONSTRAINED,
+)
+from repro.core.mutants import MutantCandidate, enumerate_mutants, insertions_for
+from repro.isa.program import ActiveProgram
+from repro.packets.headers import AllocationResponseHeader, StageRegion
+from repro.switchsim.config import SwitchConfig
+
+
+class CompilationError(Exception):
+    """Raised when no mutant matches the granted allocation."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesizedProgram:
+    """A mutant linked against a concrete allocation.
+
+    Attributes:
+        program: the NOP-padded program ready for injection.
+        mutant: the chosen stage vector.
+        regions: physical stage -> granted word region.
+        access_stages: physical stage of each memory access, in program
+            order (parallel to the pattern's access vectors).
+    """
+
+    program: ActiveProgram
+    mutant: MutantCandidate
+    regions: Dict[int, StageRegion]
+    access_stages: Tuple[int, ...]
+
+    def translate(self, access_index: int, logical_index: int) -> int:
+        """Map an access's logical word index into its physical region.
+
+        Raises:
+            CompilationError: if the logical index exceeds the region.
+        """
+        stage = self.access_stages[access_index]
+        region = self.regions[stage]
+        if logical_index < 0 or logical_index >= region.size:
+            raise CompilationError(
+                f"logical index {logical_index} outside region of "
+                f"{region.size} words in stage {stage}"
+            )
+        return region.start + logical_index
+
+    def region_for_access(self, access_index: int) -> StageRegion:
+        return self.regions[self.access_stages[access_index]]
+
+    @property
+    def min_region_words(self) -> int:
+        """Smallest granted region (bounds hash-table sizing)."""
+        return min(region.size for region in self.regions.values())
+
+
+class ActiveCompiler:
+    """Compiles and links active programs for one switch configuration."""
+
+    def __init__(
+        self,
+        config: Optional[SwitchConfig] = None,
+        synthesis_policy: Optional[AllocationPolicy] = None,
+    ) -> None:
+        self.config = config or SwitchConfig()
+        # Synthesis considers recirculating mutants too: the response
+        # dictates the stages, and the client must reach them.
+        self.synthesis_policy = synthesis_policy or LEAST_CONSTRAINED
+
+    # ------------------------------------------------------------------
+
+    def derive_pattern(
+        self,
+        program: ActiveProgram,
+        demands: Optional[Sequence[Optional[int]]] = None,
+        name: Optional[str] = None,
+    ) -> AccessPattern:
+        """Front end: extract the allocation-request constraints."""
+        return AccessPattern.from_program(program, demands=demands, name=name)
+
+    def synthesize(
+        self,
+        program: ActiveProgram,
+        pattern: AccessPattern,
+        response: AllocationResponseHeader,
+    ) -> SynthesizedProgram:
+        """Synthesize the mutant matching an allocation response.
+
+        Among mutants whose access stages all carry granted regions,
+        the one with the fewest recirculations (then most compact) is
+        chosen.
+
+        Raises:
+            CompilationError: when the response stages are unreachable
+                by any mutant of the program.
+        """
+        granted = {
+            stage: response.region_for_stage(stage)
+            for stage in response.allocated_stages()
+        }
+        if not granted:
+            raise CompilationError("allocation response grants no stages")
+        best: Optional[MutantCandidate] = None
+        for candidate in enumerate_mutants(
+            pattern, self.synthesis_policy, self.config
+        ):
+            if not all(
+                stage in granted for stage in candidate.physical_stages
+            ):
+                continue
+            if best is None or (
+                (candidate.recirculations, candidate.stages)
+                < (best.recirculations, best.stages)
+            ):
+                best = candidate
+            if best.recirculations == 0:
+                break  # lexicographic order: no better candidate exists
+        if best is None:
+            raise CompilationError(
+                f"no mutant of {pattern.name!r} reaches granted stages "
+                f"{sorted(granted)}"
+            )
+        padded = program.with_nops_before(insertions_for(pattern, best.stages))
+        access_stages = tuple(
+            self.config.physical_stage(stage) for stage in best.stages
+        )
+        return SynthesizedProgram(
+            program=padded,
+            mutant=best,
+            regions={
+                stage: granted[stage] for stage in set(access_stages)
+            },
+            access_stages=access_stages,
+        )
+
+    # ------------------------------------------------------------------
+
+    def relink(
+        self,
+        synthesized: SynthesizedProgram,
+        response: AllocationResponseHeader,
+    ) -> SynthesizedProgram:
+        """Re-translate after a reallocation that kept the same stages.
+
+        Reallocations resize or move regions within stages but never
+        relocate an application across stages, so the mutant survives;
+        only the address translation changes.
+
+        Raises:
+            CompilationError: if the new response dropped a stage the
+                mutant depends on.
+        """
+        granted = {
+            stage: response.region_for_stage(stage)
+            for stage in response.allocated_stages()
+        }
+        missing = [
+            stage
+            for stage in synthesized.regions
+            if stage not in granted
+        ]
+        if missing:
+            raise CompilationError(
+                f"reallocation removed stages {missing}; full "
+                "re-synthesis required"
+            )
+        return dataclasses.replace(
+            synthesized,
+            regions={stage: granted[stage] for stage in synthesized.regions},
+        )

@@ -1,0 +1,306 @@
+"""The ActiveRMT controller: admission, reallocation, and responses.
+
+Two usage styles:
+
+- **Synchronous control-plane API** (`admit`/`withdraw`): used by the
+  allocation experiments (Figures 5-8a, 11, 12).  All data-plane and
+  client-side durations are *modeled* and reported in the
+  :class:`ProvisioningReport`.
+- **Packet-driven API** (`process_pending`/`handle_digest`): used by
+  the end-to-end simulations (Figures 9-10).  Requests arrive as switch
+  digests; the controller deactivates impacted FIDs, lets clients
+  snapshot, then applies tables and responds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.core.allocator import (
+    ActiveRmtAllocator,
+    AllocationDecision,
+    AllocationError,
+)
+from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRAINED
+from repro.core.schemes import AllocationScheme
+from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
+from repro.packets.codec import ActivePacket
+from repro.packets.ethernet import MacAddress
+from repro.packets.headers import ControlFlags, PacketType
+from repro.switchsim.switch import ActiveSwitch
+from repro.switchsim.tables import TcamCapacityError
+
+
+class ControllerError(Exception):
+    """Raised on controller misuse (unknown FID, malformed digest)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotCost:
+    """Modeled client-side state-extraction durations (Section 4.3).
+
+    Extraction is data-plane paging: one read packet retrieves one word
+    per allocated stage, batched; the per-block figure reflects 40-Gbps
+    line-rate paging plus retransmission slack.
+    """
+
+    per_block_seconds: float = 5.0e-5
+    per_app_handshake_seconds: float = 5.0e-3
+
+
+@dataclasses.dataclass
+class ProvisioningReport:
+    """Timing breakdown for one admission (Figure 8a's three bands)."""
+
+    fid: int
+    success: bool
+    decision: AllocationDecision
+    reason: str = ""
+    compute_seconds: float = 0.0
+    table_update_seconds: float = 0.0
+    snapshot_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.table_update_seconds
+            + self.snapshot_seconds
+        )
+
+    @property
+    def reallocated_fids(self) -> List[int]:
+        return self.decision.reallocated_fids if self.decision else []
+
+
+class ActiveRmtController:
+    """Controller running on the switch CPU."""
+
+    def __init__(
+        self,
+        switch: ActiveSwitch,
+        scheme: AllocationScheme = AllocationScheme.WORST_FIT,
+        policy: AllocationPolicy = MOST_CONSTRAINED,
+        table_cost: Optional[TableUpdateCost] = None,
+        snapshot_cost: Optional[SnapshotCost] = None,
+    ) -> None:
+        self.switch = switch
+        self.allocator = ActiveRmtAllocator(
+            switch.config, scheme=scheme, policy=policy
+        )
+        self.updater = TableUpdateEngine(switch.pipeline, table_cost)
+        self.snapshot_cost = snapshot_cost or SnapshotCost()
+        self.mac = MacAddress.from_host_id(0xC0FFEE)
+        self.reports: List[ProvisioningReport] = []
+        self._client_macs: Dict[int, MacAddress] = {}
+        #: Hook invoked with (fid,) when a SNAPSHOT_COMPLETE arrives.
+        self.on_snapshot_complete: Optional[Callable[[int], None]] = None
+
+    def register_client(self, fid: int, mac: MacAddress) -> None:
+        """Remember which client MAC owns a FID (for notices)."""
+        self._client_macs[fid] = mac
+
+    def client_mac(self, fid: int) -> Optional[MacAddress]:
+        return self._client_macs.get(fid)
+
+    # ------------------------------------------------------------------
+    # Synchronous control-plane API
+    # ------------------------------------------------------------------
+
+    def admit(self, fid: int, pattern: AccessPattern) -> ProvisioningReport:
+        """Admit an application, applying the full reallocation protocol.
+
+        The report's durations model what a real deployment would
+        spend; the in-process state (allocator, tables, deactivations)
+        is updated for real.
+        """
+        decision = self.allocator.allocate(fid, pattern)
+        if not decision.success:
+            report = ProvisioningReport(
+                fid=fid,
+                success=False,
+                decision=decision,
+                reason=decision.reason,
+                compute_seconds=decision.total_seconds,
+            )
+            self.reports.append(report)
+            return report
+
+        try:
+            table_seconds, snapshot_seconds = self._apply_admission(
+                fid, decision
+            )
+        except TcamCapacityError as exc:
+            # The allocator found room in register memory but the stage
+            # TCAM cannot hold another protection range (the paper's
+            # stated bottleneck).  Roll everything back and deny.
+            self._rollback_admission(fid, decision)
+            report = ProvisioningReport(
+                fid=fid,
+                success=False,
+                decision=decision,
+                reason=f"TCAM exhausted: {exc}",
+                compute_seconds=decision.total_seconds,
+            )
+            self.reports.append(report)
+            return report
+
+        report = ProvisioningReport(
+            fid=fid,
+            success=True,
+            decision=decision,
+            compute_seconds=decision.total_seconds,
+            table_update_seconds=table_seconds,
+            snapshot_seconds=snapshot_seconds,
+        )
+        self.reports.append(report)
+        return report
+
+    def _apply_admission(self, fid, decision):
+        table_seconds = 0.0
+        snapshot_seconds = 0.0
+        impacted = decision.reallocated_fids
+        # 1. Deactivate impacted applications (consistent snapshot).
+        for other in impacted:
+            table_seconds += self.updater.deactivate(other)
+        # 2. Clients extract state from the frozen snapshot.
+        for other in impacted:
+            paged_blocks = sum(
+                old.count
+                for old, _new in decision.reallocations[other].values()
+                if old is not None
+            )
+            snapshot_seconds += (
+                self.snapshot_cost.per_app_handshake_seconds
+                + paged_blocks * self.snapshot_cost.per_block_seconds
+            )
+        # 3. Re-install entries for resized/moved applications.
+        block_words = self.switch.config.block_words
+        for other in impacted:
+            table_seconds += self.updater.reinstall_app(
+                other, self._current_regions(other), block_words
+            )
+        # 4. Scrub and install the newcomer's regions.
+        for stage, block_range in decision.regions.items():
+            words = block_range.to_words(block_words)
+            self.switch.pipeline.stage(stage).registers.clear(
+                words.start, words.end
+            )
+        table_seconds += self.updater.install_app(
+            fid, decision.regions, block_words
+        )
+        # 5. Reactivate everyone.
+        for other in impacted:
+            table_seconds += self.updater.reactivate(other)
+        return table_seconds, snapshot_seconds
+
+    def _rollback_admission(self, fid, decision) -> None:
+        """Undo a partially applied admission after a TCAM failure."""
+        self.updater.remove_app(fid)
+        self.allocator.release(fid)
+        block_words = self.switch.config.block_words
+        for other in decision.reallocated_fids:
+            self.updater.reinstall_app(
+                other, self._current_regions(other), block_words
+            )
+            self.updater.reactivate(other)
+
+    def withdraw(self, fid: int) -> float:
+        """Release an application's allocation; returns modeled seconds."""
+        reallocations = self.allocator.release(fid)
+        seconds = self.updater.remove_app(fid)
+        block_words = self.switch.config.block_words
+        for other in sorted(reallocations):
+            seconds += self.updater.deactivate(other)
+            seconds += self.updater.reinstall_app(
+                other, self._current_regions(other), block_words
+            )
+            seconds += self.updater.reactivate(other)
+        return seconds
+
+    def _current_regions(self, fid: int) -> Dict[int, object]:
+        return {
+            stage: block_range
+            for stage, block_range in self.allocator.regions_for(fid).items()
+            if block_range is not None and block_range.count > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Packet-driven API
+    # ------------------------------------------------------------------
+
+    def process_pending(self) -> List[ActivePacket]:
+        """Drain switch digests; returns the packets sent in reply."""
+        replies: List[ActivePacket] = []
+        for digest in self.switch.poll_digests():
+            replies.extend(self.handle_digest(digest))
+        return replies
+
+    def handle_digest(self, packet: ActivePacket) -> List[ActivePacket]:
+        """Handle one digested packet (request or control)."""
+        if packet.ptype == PacketType.ALLOC_REQUEST:
+            return self._handle_request(packet)
+        if packet.ptype == PacketType.CONTROL:
+            return self._handle_control(packet)
+        raise ControllerError(f"unexpected digest type {packet.ptype:#x}")
+
+    def _handle_request(self, packet: ActivePacket) -> List[ActivePacket]:
+        if packet.request is None:
+            raise ControllerError("allocation request without header")
+        pattern = AccessPattern.from_request(
+            packet.request, name=f"fid{packet.fid}"
+        )
+        self._client_macs[packet.fid] = packet.eth.src
+        report = self.admit(packet.fid, pattern)
+        replies: List[ActivePacket] = []
+        if report.success:
+            # Impacted incumbents get their updated regions, flagged as
+            # reallocation notices so their shims relink and repopulate.
+            for other in report.reallocated_fids:
+                other_mac = self._client_macs.get(other)
+                if other_mac is None:
+                    continue
+                notice = ActivePacket.alloc_response(
+                    src=self.mac,
+                    dst=other_mac,
+                    fid=other,
+                    response=self.allocator.response_for(other),
+                    flags=ControlFlags.REALLOC_NOTICE,
+                )
+                self.switch.inject(notice)
+                replies.append(notice)
+            response = ActivePacket.alloc_response(
+                src=self.mac,
+                dst=packet.eth.src,
+                fid=packet.fid,
+                response=self.allocator.response_for(packet.fid),
+                seq=packet.initial.seq,
+            )
+        else:
+            from repro.packets.headers import AllocationResponseHeader
+
+            response = ActivePacket.alloc_response(
+                src=self.mac,
+                dst=packet.eth.src,
+                fid=packet.fid,
+                response=AllocationResponseHeader.empty(),
+                flags=ControlFlags.ALLOC_FAILED,
+                seq=packet.initial.seq,
+            )
+        self.switch.inject(response)
+        replies.append(response)
+        return replies
+
+    def _handle_control(self, packet: ActivePacket) -> List[ActivePacket]:
+        if packet.has_flag(ControlFlags.DEALLOCATE):
+            try:
+                self.withdraw(packet.fid)
+            except AllocationError as exc:
+                raise ControllerError(str(exc)) from exc
+            return []
+        if packet.has_flag(ControlFlags.SNAPSHOT_COMPLETE):
+            if self.on_snapshot_complete is not None:
+                self.on_snapshot_complete(packet.fid)
+            return []
+        return []

@@ -1,0 +1,305 @@
+"""The online memory allocator (Sections 4.2-4.3).
+
+Admission is first-come-first-serve: a new application presents its
+access pattern; the allocator enumerates the pattern's mutants under
+the active policy, filters them by per-stage feasibility, scores them
+with the configured scheme, and applies the winner.  Existing
+applications never move across stages ("our online allocation mechanism
+does not consider relocating existing applications"), but elastic
+applications sharing a stage are resized by progressive filling, which
+the decision reports as reallocations (each costs the affected client a
+snapshot/restore cycle, Section 4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blocks import BlockRange, StagePool
+from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRAINED
+from repro.core.mutants import MutantCandidate, enumerate_mutants
+from repro.core.schemes import AllocationScheme
+from repro.packets.headers import AllocationResponseHeader, StageRegion
+from repro.switchsim.config import SwitchConfig
+
+
+class AllocationError(Exception):
+    """Raised on misuse of the allocator (duplicate FID, unknown FID)."""
+
+
+@dataclasses.dataclass
+class AppRecord:
+    """Bookkeeping for one admitted application."""
+
+    fid: int
+    pattern: AccessPattern
+    mutant: MutantCandidate
+    arrival: int
+    demand_by_stage: Dict[int, Optional[int]]
+
+    @property
+    def elastic(self) -> bool:
+        return self.pattern.elastic
+
+
+#: fid -> physical stage -> (old range or None, new range or None)
+ReallocationMap = Dict[int, Dict[int, Tuple[Optional[BlockRange], Optional[BlockRange]]]]
+
+
+@dataclasses.dataclass
+class AllocationDecision:
+    """Outcome of one admission attempt.
+
+    Attributes:
+        success: whether the application was admitted.
+        fid: the requesting application.
+        reason: failure explanation when not admitted.
+        mutant: the chosen mutant (None on failure).
+        regions: physical stage -> block range granted to the new app.
+        reallocations: resized/moved ranges of *other* applications.
+        candidates_considered: mutants enumerated during the search.
+        candidates_feasible: mutants that passed feasibility.
+        search_seconds: time spent enumerating and scoring.
+        assign_seconds: time spent computing final assignments
+            (the dominant term in the paper's Figure 5).
+    """
+
+    success: bool
+    fid: int
+    reason: str = ""
+    mutant: Optional[MutantCandidate] = None
+    regions: Dict[int, BlockRange] = dataclasses.field(default_factory=dict)
+    reallocations: ReallocationMap = dataclasses.field(default_factory=dict)
+    candidates_considered: int = 0
+    candidates_feasible: int = 0
+    search_seconds: float = 0.0
+    assign_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.search_seconds + self.assign_seconds
+
+    @property
+    def reallocated_fids(self) -> List[int]:
+        return sorted(self.reallocations)
+
+
+def merge_demands(
+    left: Optional[int], right: Optional[int]
+) -> Optional[int]:
+    """Combine demands of two accesses that share a physical stage.
+
+    Elastic (None) merges with anything by yielding to the inelastic
+    demand; two inelastic demands take the max (the accesses address
+    the same region).
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return max(left, right)
+
+
+class ActiveRmtAllocator:
+    """Online, block-granular, per-stage memory allocator."""
+
+    def __init__(
+        self,
+        config: Optional[SwitchConfig] = None,
+        scheme: AllocationScheme = AllocationScheme.WORST_FIT,
+        policy: AllocationPolicy = MOST_CONSTRAINED,
+    ) -> None:
+        self.config = config or SwitchConfig()
+        self.scheme = scheme
+        self.policy = policy
+        self.pools: Dict[int, StagePool] = {
+            stage: StagePool(self.config.blocks_per_stage)
+            for stage in range(1, self.config.num_stages + 1)
+        }
+        self.apps: Dict[int, AppRecord] = {}
+        self._arrival_counter = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def allocate(self, fid: int, pattern: AccessPattern) -> AllocationDecision:
+        """Attempt to admit *fid* with the given access pattern."""
+        if fid in self.apps:
+            raise AllocationError(f"fid {fid} already admitted")
+        search_start = time.perf_counter()
+        best: Optional[MutantCandidate] = None
+        best_score: Optional[Tuple] = None
+        best_demands: Dict[int, Optional[int]] = {}
+        considered = 0
+        feasible = 0
+        for order, candidate in enumerate(
+            enumerate_mutants(pattern, self.policy, self.config)
+        ):
+            considered += 1
+            demands = self._stage_demands(candidate, pattern)
+            if not self._is_feasible(demands):
+                continue
+            feasible += 1
+            score = self.scheme.score(candidate, self.pools, order)
+            if best_score is None or score < best_score:
+                best, best_score, best_demands = candidate, score, demands
+            if self.scheme is AllocationScheme.FIRST_FIT:
+                break
+        search_seconds = time.perf_counter() - search_start
+        if best is None:
+            return AllocationDecision(
+                success=False,
+                fid=fid,
+                reason="no feasible mutant under current occupancy",
+                candidates_considered=considered,
+                candidates_feasible=feasible,
+                search_seconds=search_seconds,
+            )
+
+        assign_start = time.perf_counter()
+        before = self._layout_snapshot(best_demands.keys())
+        self._arrival_counter += 1
+        arrival = self._arrival_counter
+        for stage, demand in best_demands.items():
+            self.pools[stage].add(fid, demand, arrival)
+        self.apps[fid] = AppRecord(
+            fid=fid,
+            pattern=pattern,
+            mutant=best,
+            arrival=arrival,
+            demand_by_stage=dict(best_demands),
+        )
+        after = self._layout_snapshot(best_demands.keys())
+        regions, reallocations = self._diff_layouts(fid, before, after)
+        assign_seconds = time.perf_counter() - assign_start
+        return AllocationDecision(
+            success=True,
+            fid=fid,
+            mutant=best,
+            regions=regions,
+            reallocations=reallocations,
+            candidates_considered=considered,
+            candidates_feasible=feasible,
+            search_seconds=search_seconds,
+            assign_seconds=assign_seconds,
+        )
+
+    def release(self, fid: int) -> ReallocationMap:
+        """Remove an application; elastic co-residents expand.
+
+        Returns the reallocation map of applications whose ranges
+        changed as a result of the departure.
+        """
+        record = self.apps.pop(fid, None)
+        if record is None:
+            raise AllocationError(f"fid {fid} not admitted")
+        stages = list(record.demand_by_stage)
+        before = self._layout_snapshot(stages)
+        for stage in stages:
+            self.pools[stage].remove(fid)
+        after = self._layout_snapshot(stages)
+        _regions, reallocations = self._diff_layouts(fid, before, after)
+        return reallocations
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of total switch register memory currently allocated."""
+        used = sum(pool.used_blocks for pool in self.pools.values())
+        total = self.config.blocks_per_stage * self.config.num_stages
+        return used / total
+
+    def resident_fids(self) -> List[int]:
+        return sorted(self.apps)
+
+    def app_total_blocks(self, fid: int) -> int:
+        """Total blocks currently held by *fid* across all stages."""
+        record = self.apps.get(fid)
+        if record is None:
+            raise AllocationError(f"fid {fid} not admitted")
+        total = 0
+        for stage in record.demand_by_stage:
+            block_range = self.pools[stage].range_for(fid)
+            if block_range is not None:
+                total += block_range.count
+        return total
+
+    def regions_for(self, fid: int) -> Dict[int, BlockRange]:
+        """Current per-stage block ranges of an admitted application."""
+        record = self.apps.get(fid)
+        if record is None:
+            raise AllocationError(f"fid {fid} not admitted")
+        return {
+            stage: self.pools[stage].range_for(fid)
+            for stage in record.demand_by_stage
+        }
+
+    def response_for(self, fid: int) -> AllocationResponseHeader:
+        """Allocation-response header for an admitted application."""
+        block_words = self.config.block_words
+        regions = {
+            stage: block_range.to_words(block_words)
+            for stage, block_range in self.regions_for(fid).items()
+            if block_range is not None and block_range.count > 0
+        }
+        return AllocationResponseHeader.from_map(regions)
+
+    def word_region(self, stage: int, block_range: BlockRange) -> StageRegion:
+        return block_range.to_words(self.config.block_words)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _stage_demands(
+        self, candidate: MutantCandidate, pattern: AccessPattern
+    ) -> Dict[int, Optional[int]]:
+        demands: Dict[int, Optional[int]] = {}
+        for stage, demand in zip(candidate.stages, pattern.demands):
+            physical = self.config.physical_stage(stage)
+            if physical in demands:
+                demands[physical] = merge_demands(demands[physical], demand)
+            else:
+                demands[physical] = demand
+        return demands
+
+    def _is_feasible(self, demands: Dict[int, Optional[int]]) -> bool:
+        for stage, demand in demands.items():
+            pool = self.pools[stage]
+            if demand is None:
+                if not pool.fits_elastic():
+                    return False
+            elif not pool.fits_inelastic(demand):
+                return False
+        return True
+
+    def _layout_snapshot(self, stages) -> Dict[int, Dict[int, BlockRange]]:
+        return {stage: self.pools[stage].layout() for stage in stages}
+
+    def _diff_layouts(
+        self,
+        new_fid: int,
+        before: Dict[int, Dict[int, BlockRange]],
+        after: Dict[int, Dict[int, BlockRange]],
+    ) -> Tuple[Dict[int, BlockRange], ReallocationMap]:
+        regions: Dict[int, BlockRange] = {}
+        reallocations: ReallocationMap = {}
+        for stage in after:
+            old_layout = before.get(stage, {})
+            new_layout = after[stage]
+            fids = set(old_layout) | set(new_layout)
+            for fid in fids:
+                old = old_layout.get(fid)
+                new = new_layout.get(fid)
+                if fid == new_fid:
+                    if new is not None:
+                        regions[stage] = new
+                    continue
+                if old != new:
+                    reallocations.setdefault(fid, {})[stage] = (old, new)
+        return regions, reallocations

@@ -1,0 +1,91 @@
+"""Fairness machinery: progressive filling and Jain's index.
+
+Because switch memory is not arbitrarily divisible, max-min fairness
+among co-located elastic applications is approximated by progressive
+filling over integer blocks (Section 4.2, citing classical network
+resource allocation).  Jain's fairness index (Section 6.1, Figure 7d)
+quantifies how even the resulting shares are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    Returns 1.0 for an empty population or all-zero shares (nothing to
+    be unfair about), and 1.0 exactly when every share is equal.
+    """
+    n = len(values)
+    if n == 0:
+        return 1.0
+    total = float(sum(values))
+    squares = float(sum(v * v for v in values))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (n * squares)
+
+
+def progressive_fill(
+    capacity: int,
+    demands: Dict[Hashable, Optional[int]],
+    priority: Optional[Sequence[Hashable]] = None,
+) -> Dict[Hashable, int]:
+    """Max-min shares of *capacity* blocks among claimants.
+
+    Args:
+        capacity: total integer blocks to distribute.
+        demands: claimant -> demand cap; ``None`` means unbounded
+            (elastic).  Demand-capped claimants never receive more than
+            their cap.
+        priority: deterministic order for distributing the indivisible
+            remainder (defaults to sorted key order).  Earlier claimants
+            receive the extra block.
+
+    Returns:
+        claimant -> share.  Shares sum to ``min(capacity, sum of caps)``
+        when any claimant is bounded, or exactly ``capacity`` when an
+        unbounded claimant exists.
+
+    This realizes progressive filling: all claimants' shares rise at the
+    same unit rate; a claimant freezes when its cap is reached; the
+    remainder at exhaustion goes one block at a time in priority order.
+    """
+    if capacity < 0:
+        raise ValueError("capacity cannot be negative")
+    order = list(priority) if priority is not None else sorted(
+        demands, key=repr
+    )
+    if set(order) != set(demands):
+        raise ValueError("priority must be a permutation of the claimants")
+    shares: Dict[Hashable, int] = {key: 0 for key in demands}
+    active = [key for key in order if demands[key] is None or demands[key] > 0]
+    remaining = capacity
+    while active and remaining > 0:
+        # Water level rises by the largest uniform amount any active
+        # claimant can absorb without overshooting capacity or a cap.
+        per_claimant = remaining // len(active)
+        if per_claimant == 0:
+            # Indivisible remainder: one block each in priority order.
+            for key in active[:remaining]:
+                shares[key] += 1
+            remaining = 0
+            break
+        rise = per_claimant
+        for key in active:
+            cap = demands[key]
+            if cap is not None:
+                rise = min(rise, cap - shares[key])
+        # Active capped claimants always have headroom >= 1, so rise >= 1.
+        for key in active:
+            shares[key] += rise
+            remaining -= rise
+        # Freeze claimants that reached their caps.
+        active = [
+            key
+            for key in active
+            if demands[key] is None or shares[key] < demands[key]
+        ]
+    return shares

@@ -1,0 +1,148 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--quick]
+    activermt-experiments all --quick
+
+``--quick`` shrinks workload sizes for smoke runs; the defaults match
+the paper's scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _fig5(quick: bool) -> str:
+    from repro.experiments import fig5_alloc_time
+
+    arrivals = 120 if quick else 500
+    trials = 3 if quick else 10
+    return fig5_alloc_time.main(arrivals=arrivals, trials=trials)
+
+
+def _fig6(quick: bool) -> str:
+    from repro.experiments import fig6_utilization
+
+    return fig6_utilization.main(arrivals=120 if quick else 500)
+
+
+def _fig7(quick: bool) -> str:
+    from repro.experiments import fig7_online
+
+    epochs = 150 if quick else 1000
+    trials = 3 if quick else 10
+    return fig7_online.main(epochs=epochs, trials=trials)
+
+
+def _fig8a(quick: bool) -> str:
+    from repro.experiments import fig8a_provisioning
+
+    return fig8a_provisioning.main(epochs=80 if quick else 300)
+
+
+def _fig8b(quick: bool) -> str:
+    from repro.experiments import fig8b_latency
+
+    return fig8b_latency.main()
+
+
+def _fig9a(quick: bool) -> str:
+    from repro.experiments import fig9_case_study
+
+    if quick:
+        result = fig9_case_study.run_case_study(
+            monitor_duration_s=0.8,
+            total_duration_s=3.5,
+            request_interval_s=500e-6,
+            num_keys=3000,
+        )
+    else:
+        result = fig9_case_study.run_case_study()
+    return fig9_case_study.format_case_study(result)
+
+
+def _fig9b(quick: bool) -> str:
+    from repro.experiments import fig9_case_study
+
+    if quick:
+        result = fig9_case_study.run_multi_tenant(
+            stagger_s=2.0, settle_s=3.0, request_interval_s=1e-3, num_keys=2000
+        )
+    else:
+        result = fig9_case_study.run_multi_tenant()
+    return fig9_case_study.format_multi_tenant(result)
+
+
+def _fig11(quick: bool) -> str:
+    from repro.experiments import fig11_schemes
+
+    epochs = 40 if quick else 100
+    trials = 3 if quick else 10
+    return fig11_schemes.main(epochs=epochs, trials=trials)
+
+
+def _fig12(quick: bool) -> str:
+    from repro.experiments import fig12_granularity
+
+    return fig12_granularity.main(arrivals=40 if quick else 100)
+
+
+def _tables(quick: bool) -> str:
+    from repro.experiments import tables
+
+    return tables.main()
+
+
+def _ablation(quick: bool) -> str:
+    from repro.experiments import ablation_mutants
+
+    return ablation_mutants.main(arrivals=40 if quick else 100)
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8a": _fig8a,
+    "fig8b": _fig8b,
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,  # figure 10 metrics are printed with 9b
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "tables": _tables,
+    "ablation": _ablation,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="activermt-experiments",
+        description="Regenerate the ActiveRMT paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads for a fast smoke run",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        print(EXPERIMENTS[name](args.quick))
+        elapsed = time.perf_counter() - started
+        print(f"[{name} regenerated in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Shared machinery for the allocation experiments (Figures 5-8a, 11, 12)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.apps.base import EXEMPLAR_APPS, app_by_name
+from repro.controller.controller import ActiveRmtController, ProvisioningReport
+from repro.core.constraints import (
+    AllocationPolicy,
+    LEAST_CONSTRAINED,
+    MOST_CONSTRAINED,
+)
+from repro.core.fairness import jain_index
+from repro.core.schemes import AllocationScheme
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.switch import ActiveSwitch
+from repro.workloads.arrivals import ArrivalEvent, DepartureEvent, Event
+
+POLICIES: Dict[str, AllocationPolicy] = {
+    "mc": MOST_CONSTRAINED,
+    "lc": LEAST_CONSTRAINED,
+}
+
+
+def make_controller(
+    policy: AllocationPolicy = MOST_CONSTRAINED,
+    scheme: AllocationScheme = AllocationScheme.WORST_FIT,
+    config: Optional[SwitchConfig] = None,
+) -> ActiveRmtController:
+    """A fresh switch + controller with the given allocation settings."""
+    switch = ActiveSwitch(config or SwitchConfig())
+    return ActiveRmtController(switch, scheme=scheme, policy=policy)
+
+
+@dataclasses.dataclass
+class EpochRecord:
+    """Per-admission-event observations for the time-series figures."""
+
+    epoch: int
+    app_name: str
+    success: bool
+    alloc_seconds: float
+    provisioning_seconds: float
+    table_seconds: float
+    snapshot_seconds: float
+    utilization: float
+    residents: int
+    cache_residents: int
+    reallocated_caches: int
+    cache_fairness: float
+
+
+@dataclasses.dataclass
+class OnlineRun:
+    """Result of driving one event sequence through a controller."""
+
+    records: List[EpochRecord]
+    failed: int
+    admitted: int
+
+    def series(self, field: str) -> List[float]:
+        return [getattr(record, field) for record in self.records]
+
+
+def drive_events(
+    controller: ActiveRmtController, events: Iterable[Event]
+) -> OnlineRun:
+    """Feed arrival/departure events to a controller, recording metrics.
+
+    Departures of instances that failed admission are skipped (they
+    hold no allocation).  Cache-specific metrics (fairness, realloc
+    fraction) follow the paper's Figure 7c/7d focus on the elastic app.
+    """
+    patterns = {name: spec.pattern() for name, spec in EXEMPLAR_APPS.items()}
+    app_of_fid: Dict[int, str] = {}
+    records: List[EpochRecord] = []
+    admitted = 0
+    failed = 0
+    for event in events:
+        if isinstance(event, DepartureEvent):
+            if event.fid in app_of_fid:
+                controller.withdraw(event.fid)
+                del app_of_fid[event.fid]
+            continue
+        assert isinstance(event, ArrivalEvent)
+        pattern = patterns[event.app_name]
+        report = controller.admit(event.fid, pattern)
+        if report.success:
+            admitted += 1
+            app_of_fid[event.fid] = event.app_name
+        else:
+            failed += 1
+        records.append(
+            _record_for(controller, event, report, app_of_fid)
+        )
+    return OnlineRun(records=records, failed=failed, admitted=admitted)
+
+
+def _record_for(
+    controller: ActiveRmtController,
+    event: ArrivalEvent,
+    report: ProvisioningReport,
+    app_of_fid: Dict[int, str],
+) -> EpochRecord:
+    allocator = controller.allocator
+    cache_fids = [fid for fid, name in app_of_fid.items() if name == "cache"]
+    cache_shares = [allocator.app_total_blocks(fid) for fid in cache_fids]
+    reallocated_caches = sum(
+        1 for fid in report.reallocated_fids if app_of_fid.get(fid) == "cache"
+    )
+    return EpochRecord(
+        epoch=event.epoch,
+        app_name=event.app_name,
+        success=report.success,
+        alloc_seconds=report.compute_seconds,
+        provisioning_seconds=report.total_seconds,
+        table_seconds=report.table_update_seconds,
+        snapshot_seconds=report.snapshot_seconds,
+        utilization=allocator.utilization(),
+        residents=len(allocator.resident_fids()),
+        cache_residents=len(cache_fids),
+        reallocated_caches=reallocated_caches,
+        cache_fairness=jain_index(cache_shares),
+    )
+
+
+def mean_by_epoch(
+    runs: Sequence[OnlineRun], field: str
+) -> List[float]:
+    """Average a per-record series across trials, aligned by index."""
+    if not runs:
+        return []
+    length = min(len(run.records) for run in runs)
+    out = []
+    for index in range(length):
+        values = [getattr(run.records[index], field) for run in runs]
+        out.append(sum(values) / len(values))
+    return out
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table for CLI output."""
+    columns = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(row, columns))
+
+    lines = [fmt(headers), fmt(["-" * w for w in columns])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Figure 5: control-plane allocation time.
+
+(a) 500 pure arrivals of each application under the most- and
+least-constrained policies; failed epochs collapse to ~0 because no
+assignment is computed.  (b) a uniform application mix, several trials,
+smoothed with EWMA(0.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.analysis.stats import ewma
+from repro.experiments.common import POLICIES, drive_events, make_controller
+from repro.workloads.arrivals import mixed_arrivals, pure_arrivals
+
+APP_NAMES = ("cache", "heavy-hitter", "load-balancer")
+
+
+@dataclasses.dataclass
+class PureResult:
+    """Per (app, policy): allocation-time series and failure onset."""
+
+    app_name: str
+    policy: str
+    alloc_seconds: List[float]
+    successes: List[bool]
+
+    @property
+    def first_failure_epoch(self) -> int:
+        for index, success in enumerate(self.successes):
+            if not success:
+                return index
+        return -1
+
+    @property
+    def placed(self) -> int:
+        return sum(self.successes)
+
+
+def run_pure(arrivals: int = 500) -> Dict[str, Dict[str, PureResult]]:
+    """Figure 5a: pure workloads."""
+    results: Dict[str, Dict[str, PureResult]] = {}
+    for app_name in APP_NAMES:
+        results[app_name] = {}
+        for policy_name, policy in POLICIES.items():
+            controller = make_controller(policy=policy)
+            run = drive_events(controller, pure_arrivals(app_name, arrivals))
+            results[app_name][policy_name] = PureResult(
+                app_name=app_name,
+                policy=policy_name,
+                alloc_seconds=run.series("alloc_seconds"),
+                successes=[r.success for r in run.records],
+            )
+    return results
+
+
+@dataclasses.dataclass
+class MixedResult:
+    policy: str
+    trials: List[List[float]]  # per-trial allocation-time series
+
+    def smoothed_mean(self, alpha: float = 0.1) -> List[float]:
+        length = min(len(t) for t in self.trials)
+        mean = [
+            sum(trial[i] for trial in self.trials) / len(self.trials)
+            for i in range(length)
+        ]
+        return ewma(mean, alpha)
+
+
+def run_mixed(arrivals: int = 500, trials: int = 10) -> Dict[str, MixedResult]:
+    """Figure 5b: uniformly mixed workload, multiple random trials."""
+    results: Dict[str, MixedResult] = {}
+    for policy_name, policy in POLICIES.items():
+        series = []
+        for trial in range(trials):
+            controller = make_controller(policy=policy)
+            run = drive_events(
+                controller, mixed_arrivals(arrivals, seed=trial)
+            )
+            series.append(run.series("alloc_seconds"))
+        results[policy_name] = MixedResult(policy=policy_name, trials=series)
+    return results
+
+
+def format_result(pure, mixed) -> str:
+    lines = ["# Figure 5a: pure workloads (allocation time, failure onset)"]
+    for app_name, by_policy in pure.items():
+        for policy_name, result in by_policy.items():
+            times = result.alloc_seconds
+            placed = result.placed
+            onset = result.first_failure_epoch
+            peak = max(times) if times else 0.0
+            lines.append(
+                f"  {app_name:<14} {policy_name}: placed={placed:4d} "
+                f"first_failure={'never' if onset < 0 else onset:>5} "
+                f"peak_alloc={peak * 1e3:7.2f} ms"
+            )
+    lines.append("# Figure 5b: mixed workload EWMA(0.1) allocation time (ms)")
+    for policy_name, result in mixed.items():
+        smoothed = result.smoothed_mean()
+        samples = [smoothed[i] * 1e3 for i in range(0, len(smoothed), max(1, len(smoothed) // 10))]
+        lines.append(
+            f"  {policy_name}: " + " ".join(f"{v:.2f}" for v in samples)
+        )
+    return "\n".join(lines)
+
+
+def main(arrivals: int = 500, trials: int = 10) -> str:
+    return format_result(run_pure(arrivals), run_mixed(arrivals, trials))

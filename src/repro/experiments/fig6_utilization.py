@@ -1,0 +1,69 @@
+"""Figure 6: memory utilization vs arrivals for pure workloads.
+
+The pure cache workload saturates its reachable stages within ~8-9
+instances yet keeps admitting (elastic); the load balancer climbs
+slowly and stops dead when its reachable stages fill.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.experiments.common import POLICIES, drive_events, make_controller
+from repro.workloads.arrivals import pure_arrivals
+
+APP_NAMES = ("cache", "heavy-hitter", "load-balancer")
+
+
+@dataclasses.dataclass
+class UtilizationResult:
+    app_name: str
+    policy: str
+    utilization: List[float]  # after each arrival
+    successes: List[bool]
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilization) if self.utilization else 0.0
+
+    def arrivals_to_saturation(self, fraction: float = 0.99) -> int:
+        """Arrivals needed to reach *fraction* of the final plateau."""
+        target = self.max_utilization * fraction
+        for index, value in enumerate(self.utilization):
+            if value >= target:
+                return index + 1
+        return -1
+
+
+def run(arrivals: int = 500) -> Dict[str, Dict[str, UtilizationResult]]:
+    results: Dict[str, Dict[str, UtilizationResult]] = {}
+    for app_name in APP_NAMES:
+        results[app_name] = {}
+        for policy_name, policy in POLICIES.items():
+            controller = make_controller(policy=policy)
+            online = drive_events(controller, pure_arrivals(app_name, arrivals))
+            results[app_name][policy_name] = UtilizationResult(
+                app_name=app_name,
+                policy=policy_name,
+                utilization=online.series("utilization"),
+                successes=[r.success for r in online.records],
+            )
+    return results
+
+
+def format_result(results) -> str:
+    lines = ["# Figure 6: utilization vs arrivals (pure workloads)"]
+    for app_name, by_policy in results.items():
+        for policy_name, result in by_policy.items():
+            lines.append(
+                f"  {app_name:<14} {policy_name}: "
+                f"max_util={result.max_utilization:6.1%} "
+                f"saturated_after={result.arrivals_to_saturation():4d} "
+                f"placed={sum(result.successes):4d}"
+            )
+    return "\n".join(lines)
+
+
+def main(arrivals: int = 500) -> str:
+    return format_result(run(arrivals))

@@ -1,0 +1,327 @@
+"""Figures 9a, 9b and 10: the in-network cache case study.
+
+**9a** -- one client: deploy the frequent-item monitor, run it over the
+Zipf request stream, extract its statistics via memory sync, context
+switch to the cache (deallocate + allocate), populate with the computed
+frequent items, and watch the hit rate stabilize.
+
+**9b** -- four clients, staggered, each with a private cache.  The
+first three obtain disjoint stages (zero mutual disruption); the fourth
+shares stages with the first, so both converge to equal-but-lower hit
+rates.
+
+**10** -- the same run at fine time scale: the incumbent's ~hundreds-of-
+milliseconds zero-hit-rate window while it is deactivated for state
+extraction and table updates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import windowed_rate
+from repro.apps.heavy_hitter import HeavyHitterClient, heavy_hitter_pattern, heavy_hitter_program
+from repro.client.shim import ClientShim
+from repro.controller.controller import ActiveRmtController
+from repro.packets.codec import ActivePacket
+from repro.packets.ethernet import MacAddress
+from repro.packets.headers import ControlFlags
+from repro.sim.eventloop import EventLoop
+from repro.sim.hosts import CacheClientHost, KVServerHost
+from repro.sim.kvstore import decode_get
+from repro.sim.network import SimNetwork
+from repro.sim.provisioner import SimProvisioner
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.switch import ActiveSwitch
+from repro.workloads.zipf import ZipfKeyGenerator
+
+SERVER = MacAddress.from_host_id(2)
+
+#: The case studies run on a reduced per-stage memory so the key
+#: universe exceeds cache capacity (as on the paper's testbed, where
+#: the workload dwarfs per-instance memory); stage-sharing tenants then
+#: see genuinely lower hit rates.
+CASE_STUDY_CONFIG = SwitchConfig(words_per_stage=4096)
+
+
+@dataclasses.dataclass
+class World:
+    loop: EventLoop
+    switch: ActiveSwitch
+    controller: ActiveRmtController
+    network: SimNetwork
+    provisioner: SimProvisioner
+    server: KVServerHost
+    clients: List[CacheClientHost]
+
+
+def build_world(
+    num_clients: int,
+    request_interval_s: float = 200e-6,
+    num_keys: int = 10000,
+    horizon_s: float = 120.0,
+    config: Optional[SwitchConfig] = None,
+) -> World:
+    loop = EventLoop()
+    switch = ActiveSwitch(config or CASE_STUDY_CONFIG)
+    controller = ActiveRmtController(switch)
+    network = SimNetwork(loop, switch)
+    server = KVServerHost(SERVER, loop=loop)
+    network.attach(server, 2)
+    provisioner = SimProvisioner(loop, network, controller, horizon_s=horizon_s)
+    clients = []
+    for index in range(num_clients):
+        workload = ZipfKeyGenerator(num_keys=num_keys, alpha=0.99, seed=index)
+        client = CacheClientHost(
+            mac=MacAddress.from_host_id(10 + index),
+            server_mac=SERVER,
+            switch_mac=controller.mac,
+            fid=index + 1,
+            loop=loop,
+            workload=workload,
+            request_interval_s=request_interval_s,
+        )
+        network.attach(client, 10 + index)
+        clients.append(client)
+    return World(
+        loop=loop,
+        switch=switch,
+        controller=controller,
+        network=network,
+        provisioner=provisioner,
+        server=server,
+        clients=clients,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9a: monitor -> sync -> context switch -> populate -> stable
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CaseStudyResult:
+    events: List[Tuple[float, bool]]
+    extracted_keys: int
+    switch_started_at: float
+    cache_allocated_at: Optional[float]
+    hit_rate_timeline: List[Tuple[float, float]]
+
+    def phase_hit_rate(self, start: float, end: float) -> float:
+        window = [hit for t, hit in self.events if start <= t < end]
+        return sum(window) / len(window) if window else 0.0
+
+
+def run_case_study(
+    monitor_duration_s: float = 2.0,
+    total_duration_s: float = 8.0,
+    request_interval_s: float = 200e-6,
+    num_keys: int = 10000,
+) -> CaseStudyResult:
+    world = build_world(1, request_interval_s, num_keys, total_duration_s + 1)
+    client = world.clients[0]
+    loop = world.loop
+
+    # --- Phase 1: deploy the frequent-item monitor (fid 100). ---------
+    monitor_fid = 100
+    monitor = HeavyHitterClient(
+        mac=client.mac,
+        server_mac=SERVER,
+        switch_mac=world.controller.mac,
+        fid=monitor_fid,
+    )
+    monitor_shim = ClientShim(
+        mac=client.mac,
+        switch_mac=world.controller.mac,
+        fid=monitor_fid,
+        program=heavy_hitter_program(),
+        demands=[16] * 6,
+    )
+    monitor_shim.pattern = heavy_hitter_pattern()
+    world.provisioner.pattern_overrides[monitor_fid] = heavy_hitter_pattern()
+
+    def on_monitor_allocated(synthesized) -> None:
+        monitor.attach(synthesized)
+        client.activator = lambda key: monitor.monitor_packet(key)
+
+    monitor_shim.on_allocated = on_monitor_allocated
+    sync_replies: List[ActivePacket] = []
+    state = {"switch_at": 0.0, "cache_at": None}
+
+    def rx_hook(packet: ActivePacket) -> bool:
+        if packet.fid == monitor_fid:
+            if packet.ptype != 0x01:
+                monitor_shim.handle_packet(packet)
+                return True
+            if packet.has_flag(ControlFlags.FROM_SWITCH) and decode_get(
+                packet.payload
+            ) is None:
+                sync_replies.append(packet)
+                return True
+            # Monitor-activated requests answered by the server fall
+            # through to the default miss accounting.
+        return False
+
+    client.rx_hook = rx_hook
+    client.send(monitor_shim.request_allocation())
+    client.start_requests()
+
+    # --- Phase 2 (at T=monitor_duration): extract, context switch. ----
+    def begin_context_switch() -> None:
+        state["switch_at"] = loop.now
+        client.activator = None  # stop activating with the monitor
+        for packet in monitor.extraction_packets():
+            client.send(packet)
+
+        def finish_switch() -> None:
+            counts = monitor.parse_extraction(sync_replies)
+            ranked = sorted(counts, key=counts.get, reverse=True)
+            state["extracted"] = len(ranked)
+            client.populate_source = lambda limit: ranked[:limit]
+            client.send(monitor_shim.deallocate())
+            client.request_cache_allocation()
+
+        # Extraction replies are in flight; finish shortly after.
+        loop.schedule(0.05, finish_switch)
+
+    loop.schedule_at(monitor_duration_s, begin_context_switch)
+
+    original_on_allocated = client.shim.on_allocated
+
+    def on_cache_allocated(synthesized) -> None:
+        if state["cache_at"] is None:
+            state["cache_at"] = loop.now
+        original_on_allocated(synthesized)
+
+    client.shim.on_allocated = on_cache_allocated
+
+    loop.run_until(total_duration_s)
+    return CaseStudyResult(
+        events=client.events,
+        extracted_keys=state.get("extracted", 0),
+        switch_started_at=state["switch_at"],
+        cache_allocated_at=state["cache_at"],
+        hit_rate_timeline=windowed_rate(client.events, window=0.1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9b / 10: four staggered tenants
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class MultiTenantResult:
+    per_client_events: Dict[int, List[Tuple[float, bool]]]
+    arrival_times: Dict[int, float]
+    reallocation_reports: List[Dict]
+    stagger_s: float
+    duration_s: float
+
+    def stable_hit_rate(self, fid: int) -> float:
+        events = self.per_client_events[fid]
+        start = self.duration_s - min(2.0, self.duration_s / 4)
+        window = [hit for t, hit in events if t >= start]
+        return sum(window) / len(window) if window else 0.0
+
+    def disruption_window(self, fid: int, around: float) -> float:
+        """Length of the zero-hit gap for *fid* nearest *around*."""
+        events = [
+            (t, hit)
+            for t, hit in self.per_client_events[fid]
+            if around - 1.0 <= t <= around + 2.0
+        ]
+        longest = 0.0
+        gap_start = None
+        for t, hit in events:
+            if not hit:
+                if gap_start is None:
+                    gap_start = t
+            else:
+                if gap_start is not None:
+                    longest = max(longest, t - gap_start)
+                    gap_start = None
+        if gap_start is not None and events:
+            longest = max(longest, events[-1][0] - gap_start)
+        return longest
+
+
+def run_multi_tenant(
+    num_clients: int = 4,
+    stagger_s: float = 5.0,
+    settle_s: float = 5.0,
+    request_interval_s: float = 500e-6,
+    num_keys: int = 20000,
+) -> MultiTenantResult:
+    duration = stagger_s * (num_clients - 1) + settle_s
+    world = build_world(num_clients, request_interval_s, num_keys, duration + 1)
+    arrival_times = {}
+    for index, client in enumerate(world.clients):
+        # Population is capacity-limited: stage-sharing tenants hold
+        # fewer objects and see equal-but-lower hit rates (Figure 9b).
+        client.start_requests()
+        when = 0.01 + stagger_s * index
+        arrival_times[client.shim.fid] = when
+        world.loop.schedule_at(when, client.request_cache_allocation)
+    world.loop.run_until(duration)
+    return MultiTenantResult(
+        per_client_events={
+            client.shim.fid: client.events for client in world.clients
+        },
+        arrival_times=arrival_times,
+        reallocation_reports=[
+            entry
+            for entry in world.provisioner.provisioning_log
+            if entry["reallocated"]
+        ],
+        stagger_s=stagger_s,
+        duration_s=duration,
+    )
+
+
+def format_case_study(result: CaseStudyResult) -> str:
+    lines = ["# Figure 9a: case study (monitor -> sync -> cache)"]
+    monitor_rate = result.phase_hit_rate(0.0, result.switch_started_at)
+    lines.append(
+        f"  monitor phase hit rate: {monitor_rate:.1%} (paper: 0 -- all "
+        "requests reach the server)"
+    )
+    lines.append(f"  extracted frequent keys: {result.extracted_keys}")
+    if result.cache_allocated_at is not None:
+        switch_time = result.cache_allocated_at - result.switch_started_at
+        lines.append(
+            f"  context switch took {switch_time:.2f} s "
+            "(paper: slightly over half a second)"
+        )
+    tail = result.hit_rate_timeline[-10:]
+    stable = sum(rate for _t, rate in tail) / len(tail) if tail else 0.0
+    lines.append(f"  stable hit rate: {stable:.1%} (paper: stabilizes ~85%)")
+    return "\n".join(lines)
+
+
+def format_multi_tenant(result: MultiTenantResult) -> str:
+    lines = ["# Figure 9b/10: four staggered tenants"]
+    fids = sorted(result.per_client_events)
+    for fid in fids:
+        lines.append(
+            f"  tenant fid={fid}: stable hit rate "
+            f"{result.stable_hit_rate(fid):.1%}"
+        )
+    last_arrival = result.arrival_times[fids[-1]]
+    disruption = result.disruption_window(fids[0], last_arrival)
+    lines.append(
+        f"  incumbent disruption at 4th arrival: {disruption * 1e3:.0f} ms "
+        "(paper: ~150 ms)"
+    )
+    lines.append(f"  reallocation waves: {len(result.reallocation_reports)}")
+    return "\n".join(lines)
+
+
+def main() -> str:
+    return "\n".join(
+        [
+            format_case_study(run_case_study()),
+            format_multi_tenant(run_multi_tenant()),
+        ]
+    )

@@ -1,0 +1,56 @@
+"""ActiveRMT instruction set (paper Appendix A).
+
+This package defines the capsule instruction set interpreted by the
+switch data plane:
+
+- :mod:`repro.isa.opcodes` -- the opcode space, operand kinds, and
+  per-opcode semantic metadata (memory access, branch, forwarding, ...).
+- :mod:`repro.isa.instructions` -- the 2-byte instruction header model
+  (opcode byte + flag byte holding operand/label/executed bits).
+- :mod:`repro.isa.program` -- :class:`ActiveProgram`, a validated,
+  label-resolved sequence of instructions with structural queries used
+  by the compiler and the allocator (memory-access positions, RTS
+  positions, length).
+- :mod:`repro.isa.assembler` -- a two-pass textual assembler for the
+  listing syntax used throughout the paper's appendices.
+- :mod:`repro.isa.encoding` -- byte-level encode/decode of instruction
+  sequences as they appear on the wire.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    OpcodeClass,
+    MEMORY_OPCODES,
+    BRANCH_OPCODES,
+    opcode_class,
+    is_memory_access,
+)
+from repro.isa.instructions import Instruction, InstructionFlags
+from repro.isa.program import ActiveProgram, ProgramError
+from repro.isa.assembler import assemble, disassemble, AssemblyError
+from repro.isa.encoding import (
+    encode_program,
+    decode_program,
+    EncodingError,
+    INSTRUCTION_WIDTH,
+)
+
+__all__ = [
+    "Opcode",
+    "OpcodeClass",
+    "MEMORY_OPCODES",
+    "BRANCH_OPCODES",
+    "opcode_class",
+    "is_memory_access",
+    "Instruction",
+    "InstructionFlags",
+    "ActiveProgram",
+    "ProgramError",
+    "assemble",
+    "disassemble",
+    "AssemblyError",
+    "encode_program",
+    "decode_program",
+    "EncodingError",
+    "INSTRUCTION_WIDTH",
+]

@@ -1,0 +1,151 @@
+"""Two-pass assembler for the paper's listing syntax.
+
+Grammar (one instruction per line)::
+
+    [label:] OPCODE [$slot | @label]   [; comment | // comment]
+
+- ``$n`` selects an argument slot (0-7) for LOAD/STORE/hashdata opcodes.
+- ``@name`` names the destination of a branch (CJUMP/CJUMPI/UJUMP).
+- ``name:`` marks the following instruction as a branch target.
+- Blank lines and comment-only lines are ignored.
+
+Labels are symbolic in source and resolved to the 4-bit wire label ids
+during assembly (at most 15 distinct labels per program, a consequence
+of the 2-byte instruction header).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, InstructionFlags
+from repro.isa.opcodes import Opcode, has_operand, is_branch
+from repro.isa.program import ActiveProgram
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly source."""
+
+
+_LINE_RE = re.compile(
+    r"^\s*"
+    r"(?:(?P<label>[A-Za-z_]\w*)\s*:)?"
+    r"\s*(?P<opcode>[A-Za-z_][\w]*)"
+    r"(?:\s+(?P<arg>\$\d+|@[A-Za-z_]\w*))?"
+    r"\s*$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def assemble(source: str, name: str = "anonymous") -> ActiveProgram:
+    """Assemble textual source into an :class:`ActiveProgram`.
+
+    Raises:
+        AssemblyError: on syntax errors, unknown opcodes, undefined or
+            duplicated labels, or label-count overflow.
+    """
+    parsed: List[Tuple[Optional[str], Opcode, Optional[str], int]] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise AssemblyError(f"{name}:{lineno}: cannot parse {raw!r}")
+        label = match.group("label")
+        mnemonic = match.group("opcode").upper()
+        try:
+            opcode = Opcode[mnemonic]
+        except KeyError:
+            raise AssemblyError(
+                f"{name}:{lineno}: unknown opcode {mnemonic!r}"
+            ) from None
+        arg = match.group("arg")
+        operand = 0
+        branch_target: Optional[str] = None
+        if arg:
+            if arg.startswith("$"):
+                if not has_operand(opcode):
+                    raise AssemblyError(
+                        f"{name}:{lineno}: {mnemonic} takes no $slot operand"
+                    )
+                operand = int(arg[1:])
+                if operand > InstructionFlags.MAX_OPERAND:
+                    raise AssemblyError(
+                        f"{name}:{lineno}: slot {operand} exceeds "
+                        f"{InstructionFlags.MAX_OPERAND}"
+                    )
+            else:
+                if not is_branch(opcode):
+                    raise AssemblyError(
+                        f"{name}:{lineno}: {mnemonic} takes no @label operand"
+                    )
+                branch_target = arg[1:]
+        if is_branch(opcode) and branch_target is None:
+            raise AssemblyError(
+                f"{name}:{lineno}: {mnemonic} requires an @label destination"
+            )
+        parsed.append((label, opcode, branch_target, operand))
+
+    if not parsed:
+        raise AssemblyError(f"{name}: no instructions")
+
+    # Pass 1: assign wire label ids to symbolic labels (targets only).
+    label_ids: Dict[str, int] = {}
+    for label, _opcode, _target, _operand in parsed:
+        if label is None:
+            continue
+        if label in label_ids:
+            raise AssemblyError(f"{name}: duplicate label {label!r}")
+        label_ids[label] = len(label_ids) + 1
+        if label_ids[label] > InstructionFlags.MAX_LABEL:
+            raise AssemblyError(
+                f"{name}: more than {InstructionFlags.MAX_LABEL} labels"
+            )
+
+    # Pass 2: materialize instructions with resolved labels.
+    instructions: List[Instruction] = []
+    for label, opcode, target, operand in parsed:
+        wire_label = 0
+        if is_branch(opcode):
+            assert target is not None
+            if target not in label_ids:
+                raise AssemblyError(
+                    f"{name}: branch to undefined label {target!r}"
+                )
+            wire_label = label_ids[target]
+        elif label is not None:
+            wire_label = label_ids[label]
+        if label is not None and is_branch(opcode):
+            raise AssemblyError(
+                f"{name}: branch instruction cannot itself carry label "
+                f"{label!r} (2-byte header limitation)"
+            )
+        instructions.append(
+            Instruction(opcode=opcode, operand=operand, label=wire_label)
+        )
+    return ActiveProgram(instructions, name=name)
+
+
+def disassemble(program: ActiveProgram) -> str:
+    """Render a program back to assembly source (round-trips assemble)."""
+    lines = []
+    for instr in program:
+        parts = []
+        if instr.is_label_target:
+            parts.append(f"L{instr.label}:")
+        parts.append(instr.opcode.name)
+        if has_operand(instr.opcode) and instr.operand:
+            parts.append(f"${instr.operand}")
+        if instr.is_branch:
+            parts.append(f"@L{instr.label}")
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

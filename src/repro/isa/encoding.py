@@ -1,0 +1,88 @@
+"""Byte-level encoding of instruction sequences (Section 3.3).
+
+Each instruction occupies two bytes (opcode, flag); a program is
+terminated by an ``EOF`` header (opcode 0, flag 0).  Instructions whose
+EXECUTED bit is set are *discarded* when decoding a packet that has
+traversed the switch with shrinking enabled -- the switch encoder simply
+omits them, mirroring the parser-driven shrink optimization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import ActiveProgram
+
+#: Width of one instruction header in bytes.
+INSTRUCTION_WIDTH = 2
+
+#: On-wire EOF marker.
+EOF_BYTES = bytes((Opcode.EOF, 0))
+
+
+class EncodingError(ValueError):
+    """Raised on malformed instruction byte streams."""
+
+
+def encode_instructions(
+    instructions: Tuple[Instruction, ...], shrink: bool = False
+) -> bytes:
+    """Encode instructions followed by the EOF marker.
+
+    Args:
+        instructions: the instruction sequence.
+        shrink: drop instructions whose EXECUTED bit is set (the packet
+            shrinking optimization of Section 3.1).
+    """
+    out = bytearray()
+    for instr in instructions:
+        if shrink and instr.executed:
+            continue
+        out.append(int(instr.opcode))
+        out.append(instr.flag_byte())
+    out.extend(EOF_BYTES)
+    return bytes(out)
+
+
+def encode_program(program: ActiveProgram, shrink: bool = False) -> bytes:
+    """Encode an :class:`ActiveProgram` to wire bytes (with EOF)."""
+    return encode_instructions(program.instructions, shrink=shrink)
+
+
+def decode_instructions(data: bytes) -> Tuple[List[Instruction], int]:
+    """Decode instructions until EOF.
+
+    Returns:
+        ``(instructions, consumed)`` where *consumed* counts the bytes
+        read including the EOF marker.
+
+    Raises:
+        EncodingError: if the stream ends before EOF or contains an
+            unknown opcode.
+    """
+    instructions: List[Instruction] = []
+    offset = 0
+    while True:
+        if offset + INSTRUCTION_WIDTH > len(data):
+            raise EncodingError("instruction stream truncated before EOF")
+        opcode_byte = data[offset]
+        flag_byte = data[offset + 1]
+        offset += INSTRUCTION_WIDTH
+        if opcode_byte == Opcode.EOF:
+            return instructions, offset
+        try:
+            instructions.append(Instruction.from_bytes(opcode_byte, flag_byte))
+        except ValueError as exc:
+            raise EncodingError(
+                f"bad instruction at byte {offset - INSTRUCTION_WIDTH}: {exc}"
+            ) from exc
+
+
+def decode_program(data: bytes, name: str = "decoded") -> ActiveProgram:
+    """Decode wire bytes into an :class:`ActiveProgram` (EOF required)."""
+    instructions, _consumed = decode_instructions(data)
+    if not instructions:
+        raise EncodingError("empty program (EOF only)")
+    return ActiveProgram(instructions, name=name)

@@ -1,0 +1,114 @@
+"""Instruction headers: the 2-byte on-wire unit of an active program.
+
+Each instruction header consists of a one-byte opcode and a one-byte
+flag (Section 3.3).  The flag byte is packed as::
+
+    bit 7      EXECUTED   set by the switch once the instruction has run;
+                          tells the parser to discard the field (packet
+                          shrinking, Section 3.1)
+    bits 6..3  LABEL      label id (1-15, 0 = none).  For branch opcodes
+                          this is the *destination* label; for any other
+                          opcode it marks the instruction as the *target*
+                          of that label.
+    bits 2..0  OPERAND    argument-slot index for LOAD/STORE/hashdata
+                          opcodes (0-7)
+
+The split keeps the header at the paper's two bytes while supporting the
+branch labelling and argument addressing the listings require.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.opcodes import (
+    Opcode,
+    is_branch,
+    has_operand,
+)
+
+
+class InstructionFlags:
+    """Bit layout of the instruction flag byte."""
+
+    EXECUTED = 0x80
+    LABEL_SHIFT = 3
+    LABEL_MASK = 0x0F
+    OPERAND_MASK = 0x07
+
+    MAX_LABEL = LABEL_MASK
+    MAX_OPERAND = OPERAND_MASK
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """A single decoded active instruction.
+
+    Attributes:
+        opcode: the operation to perform.
+        operand: argument-slot index for operand-taking opcodes.
+        label: label id.  Destination label for branches; own label (as a
+            branch target) for other opcodes.  Zero means "no label".
+        executed: mirror of the on-wire EXECUTED bit; only meaningful on
+            instructions decoded from a packet that already traversed the
+            switch.
+    """
+
+    opcode: Opcode
+    operand: int = 0
+    label: int = 0
+    executed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.operand <= InstructionFlags.MAX_OPERAND:
+            raise ValueError(f"operand {self.operand} out of range 0..7")
+        if not 0 <= self.label <= InstructionFlags.MAX_LABEL:
+            raise ValueError(f"label {self.label} out of range 0..15")
+        if self.operand and not has_operand(self.opcode):
+            raise ValueError(f"{self.opcode.name} does not take an operand")
+        if self.label and is_branch(self.opcode) and has_operand(self.opcode):
+            raise ValueError("branch opcodes cannot take operands")
+
+    @property
+    def is_branch(self) -> bool:
+        """True if this instruction's label is a jump destination."""
+        return is_branch(self.opcode)
+
+    @property
+    def is_label_target(self) -> bool:
+        """True if this instruction is the target of a branch label."""
+        return bool(self.label) and not is_branch(self.opcode)
+
+    def flag_byte(self) -> int:
+        """Pack operand/label/executed into the on-wire flag byte."""
+        flags = self.operand & InstructionFlags.OPERAND_MASK
+        flags |= (self.label & InstructionFlags.LABEL_MASK) << InstructionFlags.LABEL_SHIFT
+        if self.executed:
+            flags |= InstructionFlags.EXECUTED
+        return flags
+
+    @classmethod
+    def from_bytes(cls, opcode_byte: int, flag_byte: int) -> "Instruction":
+        """Decode an instruction from its two on-wire bytes."""
+        opcode = Opcode(opcode_byte)
+        operand = flag_byte & InstructionFlags.OPERAND_MASK
+        label = (flag_byte >> InstructionFlags.LABEL_SHIFT) & InstructionFlags.LABEL_MASK
+        executed = bool(flag_byte & InstructionFlags.EXECUTED)
+        if not has_operand(opcode):
+            operand = 0
+        return cls(opcode=opcode, operand=operand, label=label, executed=executed)
+
+    def with_executed(self) -> "Instruction":
+        """Return a copy with the EXECUTED bit set."""
+        return dataclasses.replace(self, executed=True)
+
+    def __str__(self) -> str:
+        parts = [self.opcode.name]
+        if has_operand(self.opcode) and self.operand:
+            parts.append(f"${self.operand}")
+        if self.is_branch and self.label:
+            parts.append(f"@L{self.label}")
+        text = " ".join(parts)
+        if self.is_label_target:
+            text = f"L{self.label}: {text}"
+        return text

@@ -1,0 +1,183 @@
+"""Opcode space for the ActiveRMT instruction set (paper Appendix A).
+
+Naming convention
+-----------------
+The paper's Appendix A is internally inconsistent about the direction of
+``COPY_X_Y`` instructions (items A.1.5 vs A.1.6-7 disagree, and the
+Appendix B.1 walkthrough requires the A.1.5 reading).  We adopt the
+*destination-first* convention throughout -- ``COPY_DST_SRC`` copies
+``SRC`` into ``DST`` -- which makes the published program listings
+(Listings 1-6) execute correctly.  This is noted as an erratum
+interpretation in DESIGN.md.
+
+Memory-read semantics
+---------------------
+The paper says ``MEM_READ`` "advances MAR"; with the multi-stage bucket
+layout used by every published program (key word 0, key word 1, and the
+value live in *different stages* at the *same index*), an intra-stage
+advance is never observed.  Our ``MEM_READ`` therefore leaves MAR
+unchanged; successive reads in later stages naturally address the next
+word of the object.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class OpcodeClass(enum.Enum):
+    """Semantic grouping of opcodes, mirroring Appendix A sections."""
+
+    DATA_COPY = "data-copy"  # A.1
+    DATA_MANIPULATION = "data-manipulation"  # A.2
+    CONTROL_FLOW = "control-flow"  # A.3
+    MEMORY = "memory"  # A.4
+    FORWARDING = "forwarding"  # A.5
+    SPECIAL = "special"  # A.6
+
+
+class Opcode(enum.IntEnum):
+    """One-byte opcodes carried in the first byte of each instruction header.
+
+    Opcode 0 is reserved for ``EOF`` so that a zeroed header terminates a
+    program, which makes truncated packets fail safe.
+    """
+
+    # --- Special (A.6) ---
+    EOF = 0x00  # end of active program
+    NOP = 0x01  # no-operation; consumes one stage
+    ADDR_MASK = 0x02  # MAR &= mask(fid, next access stage) [table operand]
+    ADDR_OFFSET = 0x03  # MAR += offset(fid, next access stage) [table operand]
+    HASH = 0x04  # MAR = hash_<operand>(hashdata) (CRC32 engines on Tofino)
+
+    # --- Data copying (A.1) ---
+    MBR_LOAD = 0x10  # MBR = args[operand]
+    MBR_STORE = 0x11  # args[operand] = MBR
+    MBR2_LOAD = 0x12  # MBR2 = args[operand]
+    MAR_LOAD = 0x13  # MAR = args[operand]
+    COPY_MBR_MBR2 = 0x14  # MBR = MBR2
+    COPY_MBR2_MBR = 0x15  # MBR2 = MBR
+    COPY_MAR_MBR = 0x16  # MAR = MBR
+    COPY_MBR_MAR = 0x17  # MBR = MAR
+    COPY_HASHDATA_MBR = 0x18  # hashdata[operand] = MBR
+    COPY_HASHDATA_MBR2 = 0x19  # hashdata[operand] = MBR2
+
+    # --- Data manipulation (A.2) ---
+    MBR_ADD_MBR2 = 0x20  # MBR += MBR2
+    MAR_ADD_MBR = 0x21  # MAR += MBR
+    MAR_ADD_MBR2 = 0x22  # MAR += MBR2
+    MAR_MBR_ADD_MBR2 = 0x23  # MAR = MBR + MBR2
+    MBR_SUBTRACT_MBR2 = 0x24  # MBR -= MBR2
+    BIT_AND_MAR_MBR = 0x25  # MAR &= MBR
+    BIT_OR_MBR_MBR2 = 0x26  # MBR |= MBR2
+    MBR_EQUALS_MBR2 = 0x27  # MBR ^= MBR2 (0 iff equal)
+    MBR_EQUALS_DATA_1 = 0x28  # MBR ^= args[0] (Listing 1, line 3)
+    MBR_EQUALS_DATA_2 = 0x29  # MBR ^= args[1] (Listing 1, line 6)
+    MAX = 0x2A  # MBR = max(MBR, MBR2)
+    MIN = 0x2B  # MBR = min(MBR, MBR2)
+    REVMIN = 0x2C  # MBR2 = min(MBR, MBR2)
+    SWAP_MBR_MBR2 = 0x2D  # MBR, MBR2 = MBR2, MBR
+    MBR_NOT = 0x2E  # MBR = ~MBR
+
+    # --- Control flow (A.3) ---
+    RETURN = 0x30  # complete; forward to resolved destination
+    CRET = 0x31  # RETURN if MBR != 0
+    CRETI = 0x32  # RETURN if MBR == 0
+    CJUMP = 0x33  # skip to label if MBR != 0
+    CJUMPI = 0x34  # skip to label if MBR == 0
+    UJUMP = 0x35  # unconditional skip to label
+
+    # --- Memory access (A.4) ---
+    MEM_READ = 0x40  # MBR = mem[MAR]
+    MEM_WRITE = 0x41  # mem[MAR] = MBR
+    MEM_INCREMENT = 0x42  # mem[MAR] += inc; MBR = mem[MAR]
+    MEM_MINREAD = 0x43  # MBR = min(MBR, mem[MAR])
+    MEM_MINREADINC = 0x44  # mem[MAR] += inc; MBR = mem[MAR]; MBR2 = min(MBR, MBR2)
+
+    # --- Packet forwarding (A.5) ---
+    DROP = 0x50  # drop the packet
+    FORK = 0x51  # clone packet, continue execution on both
+    SET_DST = 0x52  # destination = MBR
+    RTS = 0x53  # return to sender (ingress-only without recirculation)
+    CRTS = 0x54  # RTS if MBR != 0
+
+
+_CLASS_BY_RANGE = {
+    0x00: OpcodeClass.SPECIAL,
+    0x10: OpcodeClass.DATA_COPY,
+    0x20: OpcodeClass.DATA_MANIPULATION,
+    0x30: OpcodeClass.CONTROL_FLOW,
+    0x40: OpcodeClass.MEMORY,
+    0x50: OpcodeClass.FORWARDING,
+}
+
+
+def opcode_class(opcode: Opcode) -> OpcodeClass:
+    """Return the Appendix A section an opcode belongs to."""
+    return _CLASS_BY_RANGE[opcode & 0xF0]
+
+
+#: Opcodes that access the per-stage register array and therefore require
+#: a memory allocation in the stage where they execute (Section 4.1).
+MEMORY_OPCODES: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.MEM_READ,
+        Opcode.MEM_WRITE,
+        Opcode.MEM_INCREMENT,
+        Opcode.MEM_MINREAD,
+        Opcode.MEM_MINREADINC,
+    }
+)
+
+#: Opcodes whose flag byte carries a destination label.
+BRANCH_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.CJUMP, Opcode.CJUMPI, Opcode.UJUMP}
+)
+
+#: Opcodes whose flag byte carries an operand (an argument slot, or the
+#: hash-engine selector for HASH).
+OPERAND_OPCODES: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.MBR_LOAD,
+        Opcode.MBR_STORE,
+        Opcode.MBR2_LOAD,
+        Opcode.MAR_LOAD,
+        Opcode.COPY_HASHDATA_MBR,
+        Opcode.COPY_HASHDATA_MBR2,
+        Opcode.HASH,
+    }
+)
+
+#: Opcodes that terminate execution unconditionally or conditionally.
+RETURN_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.RETURN, Opcode.CRET, Opcode.CRETI}
+)
+
+#: Opcodes that must execute in an ingress stage to avoid a recirculation
+#: (ports cannot be changed at egress on the Tofino; Section 3.1).
+INGRESS_PREFERRED_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.RTS, Opcode.CRTS, Opcode.SET_DST, Opcode.FORK}
+)
+
+#: Opcodes whose table entry carries a per-(FID, stage) operand installed
+#: by the controller at allocation time (runtime address translation,
+#: Section 3.2 / Appendix A.6).
+TABLE_OPERAND_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.ADDR_MASK, Opcode.ADDR_OFFSET}
+)
+
+
+def is_memory_access(opcode: Opcode) -> bool:
+    """True if *opcode* reads or writes stage register memory."""
+    return opcode in MEMORY_OPCODES
+
+
+def is_branch(opcode: Opcode) -> bool:
+    """True if *opcode* carries a destination label in its flag byte."""
+    return opcode in BRANCH_OPCODES
+
+
+def has_operand(opcode: Opcode) -> bool:
+    """True if *opcode* takes an argument-slot operand (``$n`` syntax)."""
+    return opcode in OPERAND_OPCODES

@@ -1,0 +1,293 @@
+"""The in-memory active packet model and its wire codec.
+
+:class:`ActivePacket` is the object the simulated switch, clients, and
+network pass around.  It is mutable on purpose: the data plane rewrites
+argument fields (``MBR_STORE``), marks instructions executed (packet
+shrinking), and swaps addresses (``RTS``) exactly as the hardware
+rewrites the PHV and the deparser rebuilds the frame.
+
+``encode_packet``/``decode_packet`` realize the byte layout of
+Section 3.3; round-tripping through them is covered by property-based
+tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from repro.isa.encoding import decode_instructions, encode_instructions
+from repro.isa.instructions import Instruction
+from repro.packets.ethernet import EthernetHeader, MacAddress
+from repro.packets.headers import (
+    ACTIVE_ETHERTYPE,
+    AllocationRequestHeader,
+    AllocationResponseHeader,
+    ArgumentHeader,
+    ControlFlags,
+    HeaderError,
+    InitialHeader,
+    PacketType,
+)
+
+#: Bit field (within the initial-header flags) holding the number of
+#: argument headers attached to a PROGRAM packet (0-3).
+_ARG_COUNT_SHIFT = 12
+_ARG_COUNT_MASK = 0x3
+
+
+@dataclasses.dataclass
+class ActivePacket:
+    """A parsed active packet.
+
+    Attributes:
+        eth: layer-2 encapsulation.
+        initial: the 10-byte global active header.
+        args: flattened 32-bit argument fields (4 per argument header);
+            instruction operands index into this list.
+        instructions: program instructions (PROGRAM packets only).
+        request: allocation-request header (ALLOC_REQUEST only).
+        response: allocation-response header (ALLOC_RESPONSE only).
+        payload: opaque transport payload following the active headers.
+        arrival_port: set by the simulator when the packet enters the
+            switch; not serialized.
+    """
+
+    eth: EthernetHeader
+    initial: InitialHeader
+    args: List[int] = dataclasses.field(default_factory=lambda: [0, 0, 0, 0])
+    instructions: List[Instruction] = dataclasses.field(default_factory=list)
+    request: Optional[AllocationRequestHeader] = None
+    response: Optional[AllocationResponseHeader] = None
+    payload: bytes = b""
+    arrival_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def program(
+        cls,
+        src: MacAddress,
+        dst: MacAddress,
+        fid: int,
+        instructions: List[Instruction],
+        args: Optional[List[int]] = None,
+        seq: int = 0,
+        flags: int = 0,
+        payload: bytes = b"",
+    ) -> "ActivePacket":
+        """Build an active-program packet."""
+        arg_fields = list(args) if args is not None else [0, 0, 0, 0]
+        if len(arg_fields) % ArgumentHeader.FIELDS:
+            pad = ArgumentHeader.FIELDS - len(arg_fields) % ArgumentHeader.FIELDS
+            arg_fields.extend(0 for _ in range(pad))
+        return cls(
+            eth=EthernetHeader(dst=dst, src=src, ethertype=ACTIVE_ETHERTYPE),
+            initial=InitialHeader(
+                ptype=PacketType.PROGRAM, fid=fid, seq=seq, flags=flags
+            ),
+            args=arg_fields,
+            instructions=list(instructions),
+            payload=payload,
+        )
+
+    @classmethod
+    def alloc_request(
+        cls,
+        src: MacAddress,
+        dst: MacAddress,
+        fid: int,
+        request: AllocationRequestHeader,
+        flags: int = 0,
+        seq: int = 0,
+    ) -> "ActivePacket":
+        return cls(
+            eth=EthernetHeader(dst=dst, src=src, ethertype=ACTIVE_ETHERTYPE),
+            initial=InitialHeader(
+                ptype=PacketType.ALLOC_REQUEST, fid=fid, seq=seq, flags=flags
+            ),
+            args=[],
+            request=request,
+        )
+
+    @classmethod
+    def alloc_response(
+        cls,
+        src: MacAddress,
+        dst: MacAddress,
+        fid: int,
+        response: AllocationResponseHeader,
+        flags: int = 0,
+        seq: int = 0,
+    ) -> "ActivePacket":
+        return cls(
+            eth=EthernetHeader(dst=dst, src=src, ethertype=ACTIVE_ETHERTYPE),
+            initial=InitialHeader(
+                ptype=PacketType.ALLOC_RESPONSE, fid=fid, seq=seq, flags=flags
+            ),
+            args=[],
+            response=response,
+        )
+
+    @classmethod
+    def control(
+        cls,
+        src: MacAddress,
+        dst: MacAddress,
+        fid: int,
+        flags: int,
+        seq: int = 0,
+    ) -> "ActivePacket":
+        """A bare-header control packet (e.g. SNAPSHOT_COMPLETE)."""
+        return cls(
+            eth=EthernetHeader(dst=dst, src=src, ethertype=ACTIVE_ETHERTYPE),
+            initial=InitialHeader(
+                ptype=PacketType.CONTROL, fid=fid, seq=seq, flags=flags
+            ),
+            args=[],
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def fid(self) -> int:
+        return self.initial.fid
+
+    @property
+    def ptype(self) -> int:
+        return self.initial.ptype
+
+    def has_flag(self, bit: int) -> bool:
+        return bool(self.initial.flags & bit)
+
+    def set_flag(self, bit: int) -> None:
+        self.initial = self.initial.with_flags(set_bits=bit)
+
+    def clear_flag(self, bit: int) -> None:
+        self.initial = self.initial.with_flags(clear_bits=bit)
+
+    def get_arg(self, slot: int) -> int:
+        if slot >= len(self.args):
+            return 0
+        return self.args[slot]
+
+    def set_arg(self, slot: int, value: int) -> None:
+        while slot >= len(self.args):
+            self.args.append(0)
+        self.args[slot] = value & 0xFFFFFFFF
+
+    def return_to_sender(self) -> None:
+        """Swap layer-2 addresses and mark the packet as switch-originated."""
+        self.eth = self.eth.swapped()
+        self.set_flag(ControlFlags.FROM_SWITCH)
+
+    def wire_size(self) -> int:
+        """Size in bytes of the encoded packet."""
+        return len(encode_packet(self))
+
+    def clone(self) -> "ActivePacket":
+        """Deep-enough copy for FORK semantics."""
+        return ActivePacket(
+            eth=self.eth,
+            initial=self.initial,
+            args=list(self.args),
+            instructions=list(self.instructions),
+            request=self.request,
+            response=self.response,
+            payload=self.payload,
+            arrival_port=self.arrival_port,
+        )
+
+
+def encode_packet(packet: ActivePacket, shrink: bool = False) -> bytes:
+    """Serialize an :class:`ActivePacket` to wire bytes.
+
+    Args:
+        packet: the packet to serialize.
+        shrink: drop already-executed instruction headers (the packet
+            shrinking optimization); ignored for non-PROGRAM packets.
+    """
+    out = bytearray(packet.eth.encode())
+    initial = packet.initial
+    if initial.ptype == PacketType.PROGRAM:
+        arg_headers = _args_to_headers(packet.args)
+        if len(arg_headers) > _ARG_COUNT_MASK:
+            raise HeaderError("too many argument headers (max 3)")
+        flags = initial.flags & ~(_ARG_COUNT_MASK << _ARG_COUNT_SHIFT)
+        flags |= len(arg_headers) << _ARG_COUNT_SHIFT
+        initial = dataclasses.replace(initial, flags=flags)
+        out.extend(initial.encode())
+        for header in arg_headers:
+            out.extend(header.encode())
+        do_shrink = shrink and not initial.flags & ControlFlags.NO_SHRINK
+        out.extend(
+            encode_instructions(tuple(packet.instructions), shrink=do_shrink)
+        )
+    elif initial.ptype == PacketType.ALLOC_REQUEST:
+        if packet.request is None:
+            raise HeaderError("ALLOC_REQUEST packet without request header")
+        out.extend(initial.encode())
+        out.extend(packet.request.encode())
+    elif initial.ptype == PacketType.ALLOC_RESPONSE:
+        if packet.response is None:
+            raise HeaderError("ALLOC_RESPONSE packet without response header")
+        out.extend(initial.encode())
+        out.extend(packet.response.encode())
+    else:  # CONTROL
+        out.extend(initial.encode())
+    out.extend(packet.payload)
+    return bytes(out)
+
+
+def decode_packet(data: bytes) -> ActivePacket:
+    """Parse wire bytes into an :class:`ActivePacket`.
+
+    Raises:
+        HeaderError: on truncation, wrong EtherType, or malformed headers.
+    """
+    eth = EthernetHeader.decode(data)
+    if eth.ethertype != ACTIVE_ETHERTYPE:
+        raise HeaderError(
+            f"not an active packet (ethertype {eth.ethertype:#06x})"
+        )
+    offset = EthernetHeader.SIZE
+    initial = InitialHeader.decode(data[offset:])
+    offset += InitialHeader.SIZE
+    packet = ActivePacket(eth=eth, initial=initial, args=[])
+    if initial.ptype == PacketType.PROGRAM:
+        arg_count = (initial.flags >> _ARG_COUNT_SHIFT) & _ARG_COUNT_MASK
+        args: List[int] = []
+        for _ in range(arg_count):
+            header = ArgumentHeader.decode(data[offset:])
+            args.extend(header.data)
+            offset += ArgumentHeader.SIZE
+        instructions, consumed = decode_instructions(data[offset:])
+        offset += consumed
+        packet.args = args
+        packet.instructions = instructions
+    elif initial.ptype == PacketType.ALLOC_REQUEST:
+        packet.request = AllocationRequestHeader.decode(data[offset:])
+        offset += AllocationRequestHeader.SIZE
+    elif initial.ptype == PacketType.ALLOC_RESPONSE:
+        packet.response = AllocationResponseHeader.decode(data[offset:])
+        offset += AllocationResponseHeader.SIZE
+    packet.payload = data[offset:]
+    return packet
+
+
+def _args_to_headers(args: List[int]) -> List[ArgumentHeader]:
+    if not args:
+        return [ArgumentHeader()]
+    count = math.ceil(len(args) / ArgumentHeader.FIELDS)
+    headers = []
+    for index in range(count):
+        chunk = args[
+            index * ArgumentHeader.FIELDS : (index + 1) * ArgumentHeader.FIELDS
+        ]
+        headers.append(ArgumentHeader.from_values(chunk))
+    return headers

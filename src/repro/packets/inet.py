@@ -1,0 +1,118 @@
+"""Minimal IPv4/UDP headers for the simulated transport payloads.
+
+Active programs never inspect the TCP/IP payload (Section 3.3); these
+structures exist so the end-to-end experiments (the key-value workload
+of Section 6.3 and the Cheetah load balancer) can carry realistic
+application traffic through the shim layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from repro.packets.headers import HeaderError
+
+_IPV4_STRUCT = struct.Struct(">BBHHHBBHII")
+
+
+@dataclasses.dataclass(frozen=True)
+class Ipv4Header:
+    """A fixed 20-byte IPv4 header (no options), checksum unmodeled."""
+
+    SIZE = _IPV4_STRUCT.size  # 20
+
+    src: int
+    dst: int
+    protocol: int = 17  # UDP
+    ttl: int = 64
+    total_length: int = SIZE
+    identification: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("src", "dst"):
+            value = getattr(self, field)
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise HeaderError(f"{field} {value:#x} out of range")
+        if not 0 <= self.ttl <= 0xFF:
+            raise HeaderError("ttl out of range")
+
+    def encode(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        return _IPV4_STRUCT.pack(
+            version_ihl,
+            0,
+            self.total_length,
+            self.identification,
+            0,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src,
+            self.dst,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < cls.SIZE:
+            raise HeaderError("ipv4 header truncated")
+        (
+            version_ihl,
+            _tos,
+            total_length,
+            identification,
+            _frag,
+            ttl,
+            protocol,
+            _checksum,
+            src,
+            dst,
+        ) = _IPV4_STRUCT.unpack_from(data)
+        if version_ihl >> 4 != 4:
+            raise HeaderError("not an IPv4 header")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            ttl=ttl,
+            total_length=total_length,
+            identification=identification,
+        )
+
+    def swapped(self) -> "Ipv4Header":
+        return dataclasses.replace(self, src=self.dst, dst=self.src)
+
+
+_UDP_STRUCT = struct.Struct(">HHHH")
+
+
+@dataclasses.dataclass(frozen=True)
+class UdpHeader:
+    """An 8-byte UDP header, checksum unmodeled."""
+
+    SIZE = _UDP_STRUCT.size  # 8
+
+    src_port: int
+    dst_port: int
+    length: int = SIZE
+
+    def __post_init__(self) -> None:
+        for field in ("src_port", "dst_port", "length"):
+            value = getattr(self, field)
+            if not 0 <= value <= 0xFFFF:
+                raise HeaderError(f"{field} {value} out of range")
+
+    def encode(self) -> bytes:
+        return _UDP_STRUCT.pack(self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.SIZE:
+            raise HeaderError("udp header truncated")
+        src_port, dst_port, length, _checksum = _UDP_STRUCT.unpack_from(data)
+        return cls(src_port=src_port, dst_port=dst_port, length=length)
+
+    def swapped(self) -> "UdpHeader":
+        return dataclasses.replace(
+            self, src_port=self.dst_port, dst_port=self.src_port
+        )

@@ -1,0 +1,72 @@
+"""The backend key-value store and its UDP payload protocol.
+
+Application-level requests ride in the (opaque-to-the-switch) payload
+of active packets: an operation byte, an 8-byte key, and -- for
+responses -- a 4-byte value.  Object values are derived
+deterministically from keys so clients, servers, and caches agree
+without out-of-band coordination.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Optional, Tuple
+
+OP_GET = 0x01
+OP_VALUE = 0x02
+
+_GET_STRUCT = struct.Struct(">B8s")
+_VALUE_STRUCT = struct.Struct(">B8sI")
+
+
+def encode_get(key: bytes) -> bytes:
+    if len(key) != 8:
+        raise ValueError("keys are 8 bytes")
+    return _GET_STRUCT.pack(OP_GET, key)
+
+
+def decode_get(payload: bytes) -> Optional[bytes]:
+    """Key of a GET payload, or None if it is not one."""
+    if len(payload) < _GET_STRUCT.size:
+        return None
+    op, key = _GET_STRUCT.unpack_from(payload)
+    return key if op == OP_GET else None
+
+
+def encode_value(key: bytes, value: int) -> bytes:
+    return _VALUE_STRUCT.pack(OP_VALUE, key, value & 0xFFFFFFFF)
+
+
+def decode_value(payload: bytes) -> Optional[Tuple[bytes, int]]:
+    """(key, value) of a VALUE payload, or None."""
+    if len(payload) < _VALUE_STRUCT.size:
+        return None
+    op, key, value = _VALUE_STRUCT.unpack_from(payload)
+    return (key, value) if op == OP_VALUE else None
+
+
+def value_for_key(key: bytes) -> int:
+    """Deterministic 32-bit object value for a key (nonzero)."""
+    return (zlib.crc32(key, 0xFEED) | 1) & 0xFFFFFFFF
+
+
+class KVStore:
+    """An in-memory object store with derived default values."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[bytes, int] = {}
+        self.gets = 0
+
+    def get(self, key: bytes) -> int:
+        """Fetch a key (auto-materializing its deterministic value)."""
+        self.gets += 1
+        if key not in self._objects:
+            self._objects[key] = value_for_key(key)
+        return self._objects[key]
+
+    def put(self, key: bytes, value: int) -> None:
+        self._objects[key] = value & 0xFFFFFFFF
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,106 @@
+"""Switch configuration: the modeled device parameters.
+
+Defaults follow the paper's testbed (Section 6): a Tofino with 20
+logical stages (10 ingress + 10 egress), register memory filling each
+stage, and memory allocated at 1-KiB block granularity (256 blocks per
+stage).  Everything is configurable so the granularity sweep (Figure 12)
+and smaller test devices are easy to express.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchConfig:
+    """Modeled RMT device parameters.
+
+    Attributes:
+        num_stages: logical pipeline depth (one instruction per stage).
+        ingress_stages: stages forming the ingress half; ``RTS`` executed
+            beyond this half costs one recirculation (Section 3.1).
+        words_per_stage: 32-bit register words in each stage's array.
+            The paper's device exposes ~94K words/stage; the default is
+            the nearest power of two for clean block arithmetic.
+        word_bytes: bytes per register word (Tofino register extern: 4).
+        block_bytes: allocation granularity (Section 4.1; default 1 KiB).
+        max_recirculations: recirculation budget per packet before the
+            runtime drops it (bandwidth-protection limit, Section 7.2).
+        tcam_entries_per_stage: TCAM capacity available for memory
+            protection ranges in each stage -- the paper's stated
+            bottleneck for the number of distinct address ranges.
+        num_ports: front-panel ports of the simulated switch.
+    """
+
+    num_stages: int = 20
+    ingress_stages: int = 10
+    words_per_stage: int = 65536
+    word_bytes: int = 4
+    block_bytes: int = 1024
+    max_recirculations: int = 8
+    tcam_entries_per_stage: int = 2048
+    num_ports: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 2:
+            raise ValueError("need at least two stages")
+        if not 0 < self.ingress_stages < self.num_stages:
+            raise ValueError("ingress stages must split the pipeline")
+        if self.words_per_stage <= 0 or self.word_bytes <= 0:
+            raise ValueError("stage memory must be positive")
+        if self.block_bytes % self.word_bytes:
+            raise ValueError("block size must be a whole number of words")
+        if self.block_words <= 0:
+            raise ValueError("block must hold at least one word")
+        if self.words_per_stage % self.block_words:
+            raise ValueError("stage memory must be a whole number of blocks")
+        if self.max_recirculations < 0:
+            raise ValueError("recirculation budget cannot be negative")
+
+    @property
+    def block_words(self) -> int:
+        """Register words per allocation block."""
+        return self.block_bytes // self.word_bytes
+
+    @property
+    def blocks_per_stage(self) -> int:
+        """Allocatable blocks in each stage (256 at paper defaults)."""
+        return self.words_per_stage // self.block_words
+
+    @property
+    def stage_bytes(self) -> int:
+        """Register memory per stage in bytes."""
+        return self.words_per_stage * self.word_bytes
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Total active-program memory across all stages."""
+        return self.stage_bytes * self.num_stages
+
+    @property
+    def max_logical_stages(self) -> int:
+        """Logical stages reachable within the recirculation budget."""
+        return self.num_stages * (1 + self.max_recirculations)
+
+    def is_ingress(self, physical_stage: int) -> bool:
+        """True if a 1-indexed physical stage lies in the ingress half."""
+        if not 1 <= physical_stage <= self.num_stages:
+            raise ValueError(f"stage {physical_stage} out of range")
+        return physical_stage <= self.ingress_stages
+
+    def physical_stage(self, logical_stage: int) -> int:
+        """Map a 1-indexed logical stage to its physical stage."""
+        if logical_stage < 1:
+            raise ValueError(f"logical stage {logical_stage} out of range")
+        return (logical_stage - 1) % self.num_stages + 1
+
+    def pass_of(self, logical_stage: int) -> int:
+        """1-indexed pipeline pass a logical stage belongs to."""
+        if logical_stage < 1:
+            raise ValueError(f"logical stage {logical_stage} out of range")
+        return (logical_stage - 1) // self.num_stages + 1
+
+    def with_granularity(self, block_bytes: int) -> "SwitchConfig":
+        """Copy of this config at a different allocation granularity."""
+        return dataclasses.replace(self, block_bytes=block_bytes)

@@ -1,0 +1,80 @@
+"""Extended runtimes: merging other P4 functionality (Section 7.1).
+
+The paper manually merged a subset of switch.p4's L2 forwarding into
+the ActiveRMT runtime.  The cost: one stage removed from active program
+processing, +3% TCAM and +6% PHV usage, and ~4% higher forwarding
+latency.  This module models that trade so deployments can evaluate
+"runtime + protocols" configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.latency import LatencyModel
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeExtension:
+    """Resource cost of merging extra P4 functionality into the runtime.
+
+    Attributes:
+        name: what was merged (e.g. "l2-forwarding").
+        stages_consumed: stages removed from active program processing.
+        tcam_overhead: fractional extra TCAM usage (0.03 = +3%).
+        phv_overhead: fractional extra PHV usage.
+        latency_overhead: fractional forwarding-latency increase.
+    """
+
+    name: str
+    stages_consumed: int = 0
+    tcam_overhead: float = 0.0
+    phv_overhead: float = 0.0
+    latency_overhead: float = 0.0
+
+
+#: The paper's measured L2-forwarding merge (Section 7.1).
+L2_FORWARDING = RuntimeExtension(
+    name="l2-forwarding",
+    stages_consumed=1,
+    tcam_overhead=0.03,
+    phv_overhead=0.06,
+    latency_overhead=0.04,
+)
+
+
+def extend_config(
+    config: SwitchConfig, extension: RuntimeExtension
+) -> SwitchConfig:
+    """Device config after dedicating resources to an extension.
+
+    Raises:
+        ValueError: if the extension leaves too few stages to run
+            active programs.
+    """
+    num_stages = config.num_stages - extension.stages_consumed
+    if num_stages < 2:
+        raise ValueError(
+            f"extension {extension.name!r} leaves {num_stages} stages"
+        )
+    ingress = min(config.ingress_stages, num_stages - 1)
+    tcam = int(config.tcam_entries_per_stage * (1 - extension.tcam_overhead))
+    return dataclasses.replace(
+        config,
+        num_stages=num_stages,
+        ingress_stages=ingress,
+        tcam_entries_per_stage=tcam,
+    )
+
+
+def extend_latency(
+    model: LatencyModel, extension: RuntimeExtension
+) -> LatencyModel:
+    """Latency model with the extension's forwarding overhead applied."""
+    factor = 1 + extension.latency_overhead
+    return dataclasses.replace(
+        model,
+        half_pipe_us=model.half_pipe_us * factor,
+        active_overhead_us=model.active_overhead_us * factor,
+    )

@@ -1,0 +1,188 @@
+"""The top-level switch: ports, forwarding, and the digest channel.
+
+:class:`ActiveSwitch` glues the pipeline to a baseline L2 forwarding
+function (the runtime "provides only baseline forwarding functionality",
+Section 7.1) and exposes the digest channel through which allocation
+requests and control packets reach the controller on the switch CPU
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.packets.codec import ActivePacket
+from repro.packets.ethernet import MacAddress
+from repro.packets.headers import PacketType
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.latency import LatencyModel
+from repro.switchsim.pipeline import ExecutionResult, PacketDisposition, Pipeline
+
+
+@dataclasses.dataclass
+class PortStats:
+    """Per-port packet counters."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchOutput:
+    """One packet emitted by the switch.
+
+    Attributes:
+        port: egress port.
+        packet: the emitted packet.
+        latency_us: switch-internal forwarding latency.
+        result: pipeline execution result (None for non-program packets).
+    """
+
+    port: int
+    packet: ActivePacket
+    latency_us: float
+    result: Optional[ExecutionResult] = None
+
+
+class ActiveSwitch:
+    """A switch running the shared ActiveRMT runtime."""
+
+    def __init__(
+        self,
+        config: Optional[SwitchConfig] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.config = config or SwitchConfig()
+        self.pipeline = Pipeline(self.config)
+        self.latency = latency or LatencyModel()
+        self._mac_table: Dict[MacAddress, int] = {}
+        self._digests: Deque[ActivePacket] = deque()
+        self.port_stats: Dict[int, PortStats] = {}
+        self.digest_count = 0
+        #: Optional recirculation-bandwidth governor (Section 7.2).
+        #: When set, programs whose *inferred* recirculation cost (from
+        #: the program length, as the paper notes the switch can do)
+        #: exceeds the FID's token allowance are forwarded unprocessed.
+        self.governor = None
+        #: Clock used by the governor (set by the simulation harness).
+        self.clock: Optional[Callable[[], float]] = None
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def register_host(self, mac: MacAddress, port: int) -> None:
+        """Bind a MAC address to a front-panel port (static L2 table)."""
+        if not 0 <= port < self.config.num_ports:
+            raise ValueError(f"port {port} out of range")
+        self._mac_table[mac] = port
+
+    def port_for(self, mac: MacAddress) -> Optional[int]:
+        return self._mac_table.get(mac)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: ActivePacket, in_port: int) -> List[SwitchOutput]:
+        """Process a packet arriving on *in_port*.
+
+        Returns the list of emitted packets (possibly empty for drops
+        and digested control traffic).
+        """
+        packet.arrival_port = in_port
+        self._count_rx(in_port, packet)
+        ptype = packet.ptype
+        if ptype in (PacketType.ALLOC_REQUEST, PacketType.CONTROL):
+            # Delivered to the switch CPU via message digests.
+            self._digests.append(packet)
+            self.digest_count += 1
+            return []
+        if ptype == PacketType.PROGRAM and packet.instructions:
+            return self._process_program(packet, in_port)
+        # Non-executing active packets (e.g. responses in flight) and
+        # bare packets take the baseline forwarding path.
+        return self._forward_plain(packet)
+
+    def _process_program(self, packet: ActivePacket, in_port: int) -> List[SwitchOutput]:
+        if self.governor is not None:
+            inferred = -(-len(packet.instructions) // self.config.num_stages) - 1
+            now = self.clock() if self.clock is not None else 0.0
+            if not self.governor.admit(packet.fid, inferred, now):
+                return self._forward_plain(packet)
+        result = self.pipeline.execute(packet)
+        outputs: List[SwitchOutput] = []
+        outputs.extend(self._emit(result, in_port))
+        for clone in result.clones:
+            outputs.extend(self._emit(clone, in_port))
+        return outputs
+
+    def _emit(self, result: ExecutionResult, in_port: int) -> List[SwitchOutput]:
+        latency_us = self.latency.switch_latency_us(result, self.config)
+        packet = result.packet
+        if result.disposition in (PacketDisposition.DROP, PacketDisposition.FAULT):
+            return []
+        if result.disposition is PacketDisposition.RETURN_TO_SENDER:
+            out_port = in_port
+        elif result.phv.dst_override >= 0:
+            out_port = result.phv.dst_override
+        else:
+            resolved = self._mac_table.get(packet.eth.dst)
+            if resolved is None:
+                return []  # unknown unicast: paper runtime has no flood
+            out_port = resolved
+        self._count_tx(out_port, packet)
+        return [
+            SwitchOutput(
+                port=out_port, packet=packet, latency_us=latency_us, result=result
+            )
+        ]
+
+    def _forward_plain(self, packet: ActivePacket) -> List[SwitchOutput]:
+        out_port = self._mac_table.get(packet.eth.dst)
+        if out_port is None:
+            return []
+        self._count_tx(out_port, packet)
+        return [
+            SwitchOutput(
+                port=out_port,
+                packet=packet,
+                latency_us=self.latency.pass_us,
+                result=None,
+            )
+        ]
+
+    def inject(self, packet: ActivePacket) -> List[SwitchOutput]:
+        """Send a controller-originated packet (e.g. allocation response)."""
+        return self._forward_plain(packet)
+
+    # ------------------------------------------------------------------
+    # Control-plane interface (used by repro.controller)
+    # ------------------------------------------------------------------
+
+    def poll_digests(self, limit: int = 0) -> List[ActivePacket]:
+        """Drain queued digests (allocation requests, control packets)."""
+        drained: List[ActivePacket] = []
+        while self._digests and (not limit or len(drained) < limit):
+            drained.append(self._digests.popleft())
+        return drained
+
+    @property
+    def digests_pending(self) -> int:
+        return len(self._digests)
+
+    # ------------------------------------------------------------------
+
+    def _count_rx(self, port: int, packet: ActivePacket) -> None:
+        stats = self.port_stats.setdefault(port, PortStats())
+        stats.rx_packets += 1
+        stats.rx_bytes += packet.wire_size()
+
+    def _count_tx(self, port: int, packet: ActivePacket) -> None:
+        stats = self.port_stats.setdefault(port, PortStats())
+        stats.tx_packets += 1
+        stats.tx_bytes += packet.wire_size()

@@ -1,0 +1,26 @@
+"""Workload generators for the evaluation (Section 6).
+
+- :mod:`repro.workloads.zipf` -- Zipf-distributed key requests, the
+  realistic object-store workload of Sections 3.4 and 6.3.
+- :mod:`repro.workloads.arrivals` -- application arrival/departure
+  sequences: pure runs, uniform mixes, and the Poisson online process
+  (arrival rate twice the departure rate) of Section 6.1.
+"""
+
+from repro.workloads.zipf import ZipfKeyGenerator
+from repro.workloads.arrivals import (
+    ArrivalEvent,
+    DepartureEvent,
+    pure_arrivals,
+    mixed_arrivals,
+    poisson_events,
+)
+
+__all__ = [
+    "ZipfKeyGenerator",
+    "ArrivalEvent",
+    "DepartureEvent",
+    "pure_arrivals",
+    "mixed_arrivals",
+    "poisson_events",
+]

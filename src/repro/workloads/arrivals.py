@@ -1,0 +1,116 @@
+"""Application arrival/departure sequences (Section 6.1).
+
+Three generators mirror the paper's experiments:
+
+- ``pure_arrivals``: 500 back-to-back arrivals of one application
+  (Figures 5a and 6),
+- ``mixed_arrivals``: arrivals drawn uniformly from the three exemplar
+  applications (Figure 5b),
+- ``poisson_events``: the online process of Figures 7/8a/11 -- per
+  epoch, Poisson(2) arrivals and Poisson(1) departures of uniformly
+  chosen resident applications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator, List, Sequence, Union
+
+#: Names of the paper's three exemplar applications.
+DEFAULT_APP_NAMES = ("cache", "heavy-hitter", "load-balancer")
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalEvent:
+    """A new application instance requesting admission."""
+
+    epoch: int
+    fid: int
+    app_name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class DepartureEvent:
+    """A resident instance releasing its allocation."""
+
+    epoch: int
+    fid: int
+
+
+Event = Union[ArrivalEvent, DepartureEvent]
+
+
+def pure_arrivals(
+    app_name: str, count: int = 500, start_fid: int = 1
+) -> List[ArrivalEvent]:
+    """*count* arrivals of a single application type."""
+    return [
+        ArrivalEvent(epoch=index, fid=start_fid + index, app_name=app_name)
+        for index in range(count)
+    ]
+
+
+def mixed_arrivals(
+    count: int = 500,
+    seed: int = 0,
+    app_names: Sequence[str] = DEFAULT_APP_NAMES,
+    start_fid: int = 1,
+) -> List[ArrivalEvent]:
+    """*count* arrivals chosen uniformly at random among *app_names*."""
+    rng = random.Random(seed)
+    return [
+        ArrivalEvent(
+            epoch=index,
+            fid=start_fid + index,
+            app_name=rng.choice(list(app_names)),
+        )
+        for index in range(count)
+    ]
+
+
+def poisson_events(
+    epochs: int = 1000,
+    arrival_mean: float = 2.0,
+    departure_mean: float = 1.0,
+    seed: int = 0,
+    app_names: Sequence[str] = DEFAULT_APP_NAMES,
+) -> Iterator[Event]:
+    """The online arrival/departure process of Section 6.1.
+
+    Yields events in epoch order.  Departures pick uniformly among the
+    instances this generator has seen arrive and not yet depart (the
+    caller may ignore departures of instances that failed admission --
+    ``DepartureEvent``s are emitted only for fids previously emitted as
+    arrivals).
+    """
+    rng = random.Random(seed)
+    next_fid = 1
+    resident: List[int] = []
+    for epoch in range(epochs):
+        for _ in range(_poisson(rng, arrival_mean)):
+            yield ArrivalEvent(
+                epoch=epoch,
+                fid=next_fid,
+                app_name=rng.choice(list(app_names)),
+            )
+            resident.append(next_fid)
+            next_fid += 1
+        for _ in range(_poisson(rng, departure_mean)):
+            if not resident:
+                break
+            victim = resident.pop(rng.randrange(len(resident)))
+            yield DepartureEvent(epoch=epoch, fid=victim)
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (mean is small in these workloads)."""
+    if mean <= 0:
+        return 0
+    limit = pow(2.718281828459045, -mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

@@ -1,0 +1,75 @@
+"""Zipf-distributed key workloads (Sections 3.4 and 6.3).
+
+Object popularity in production key-value stores is approximately
+Zipfian (the paper cites the Memcached/YCSB measurement studies); the
+cache case study draws 8-byte keys from this distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class ZipfKeyGenerator:
+    """Draws 8-byte keys with Zipf-distributed popularity.
+
+    Key *rank* ``r`` (1-indexed) is requested with probability
+    proportional to ``1 / r**alpha``.  Keys are deterministic functions
+    of their rank, so independently seeded generators agree on the key
+    universe (client and server share it).
+
+    Args:
+        num_keys: size of the key universe.
+        alpha: skew parameter (0.99 is the YCSB default).
+        seed: RNG seed for request sampling.
+    """
+
+    def __init__(self, num_keys: int, alpha: float = 0.99, seed: int = 0) -> None:
+        if num_keys <= 0:
+            raise ValueError("need at least one key")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.num_keys = num_keys
+        self.alpha = alpha
+        weights = 1.0 / np.power(np.arange(1, num_keys + 1, dtype=np.float64), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        self._rng = np.random.default_rng(seed)
+
+    @staticmethod
+    def key_for_rank(rank: int) -> bytes:
+        """The 8-byte key assigned to a popularity rank (0-indexed)."""
+        return b"K" + rank.to_bytes(7, "big")
+
+    def sample_rank(self) -> int:
+        """Draw one key rank (0-indexed, 0 = most popular)."""
+        point = self._rng.random()
+        return int(np.searchsorted(self._cdf, point))
+
+    def sample_key(self) -> bytes:
+        return self.key_for_rank(self.sample_rank())
+
+    def sample_keys(self, count: int) -> List[bytes]:
+        """Draw *count* keys (vectorized)."""
+        points = self._rng.random(count)
+        ranks = np.searchsorted(self._cdf, points)
+        return [self.key_for_rank(int(rank)) for rank in ranks]
+
+    def popularity(self, rank: int) -> float:
+        """Probability of the key at *rank* (0-indexed)."""
+        if rank == 0:
+            return float(self._cdf[0])
+        return float(self._cdf[rank] - self._cdf[rank - 1])
+
+    def top_keys(self, count: int) -> List[bytes]:
+        """The *count* most popular keys."""
+        return [self.key_for_rank(rank) for rank in range(min(count, self.num_keys))]
+
+    def expected_hit_rate(self, cached_ranks: int) -> float:
+        """Hit rate if the top *cached_ranks* keys were cached."""
+        if cached_ranks <= 0:
+            return 0.0
+        index = min(cached_ranks, self.num_keys) - 1
+        return float(self._cdf[index])

@@ -1,0 +1,135 @@
+"""End-to-end tests for the Cheetah load balancer."""
+
+import pytest
+
+from repro.apps import (
+    CheetahLbClient,
+    lb_pattern,
+    lb_routing_program,
+    lb_selection_program,
+)
+from repro.client import ClientShim
+from repro.controller import ActiveRmtController
+from repro.packets import MacAddress
+from repro.switchsim import ActiveSwitch
+
+CLIENT = MacAddress.from_host_id(1)
+VIP = MacAddress.from_host_id(2)
+
+#: Ports where the simulated backend servers live.
+SERVER_PORTS = [10, 11, 12, 13]
+
+
+@pytest.fixture
+def stack():
+    switch = ActiveSwitch()
+    switch.register_host(CLIENT, 1)
+    switch.register_host(VIP, 2)
+    controller = ActiveRmtController(switch)
+    switch.register_host(controller.mac, 3)
+    lb = CheetahLbClient(mac=CLIENT, vip_mac=VIP, switch_mac=controller.mac, fid=1)
+    shim = ClientShim(
+        mac=CLIENT,
+        switch_mac=controller.mac,
+        fid=1,
+        program=lb_selection_program(),
+        demands=[1, 1],
+    )
+    shim.on_allocated = lb.attach
+    switch.receive(shim.request_allocation(), in_port=1)
+    for reply in controller.process_pending():
+        shim.handle_packet(reply)
+    assert lb.synthesized is not None
+    for packet in lb.install_pool_packets(SERVER_PORTS):
+        assert switch.receive(packet, in_port=1)
+    return switch, controller, lb
+
+
+def test_pattern_is_inelastic_two_accesses():
+    pattern = lb_pattern()
+    assert not pattern.elastic
+    assert pattern.num_accesses == 2
+    assert pattern.demands == (1, 1)
+    assert pattern.ingress_bound_position == 9
+
+
+def test_selection_round_robin(stack):
+    """SYNs are routed to pool servers in round-robin order."""
+    switch, _controller, lb = stack
+    chosen_ports = []
+    for flow in range(8):
+        outputs = switch.receive(lb.selection_packet(flow_id=flow), in_port=1)
+        assert len(outputs) == 1
+        chosen_ports.append(outputs[0].port)
+    # Each consecutive window of len(pool) covers every server once.
+    assert sorted(chosen_ports[:4]) == sorted(SERVER_PORTS)
+    assert chosen_ports[:4] == chosen_ports[4:]  # strict round robin
+
+
+def test_selection_exports_server_to_client(stack):
+    switch, _controller, lb = stack
+    outputs = switch.receive(lb.selection_packet(flow_id=99), in_port=1)
+    exported = CheetahLbClient.chosen_server(outputs[0].packet)
+    assert exported == outputs[0].port
+
+
+def test_routing_follows_cookie(stack):
+    """Non-SYN packets reach the server encoded in the flow cookie."""
+    switch, _controller, lb = stack
+    flow_id = 0xABCD1234
+    for server in SERVER_PORTS:
+        cookie = lb.cookie_for(flow_id, server)
+        outputs = switch.receive(
+            lb.routing_packet(flow_id, cookie), in_port=1
+        )
+        assert len(outputs) == 1
+        assert outputs[0].port == server
+
+
+def test_flow_affinity_end_to_end(stack):
+    """The cookie from a SYN keeps subsequent packets on one server."""
+    switch, _controller, lb = stack
+    flow_id = 7777
+    outputs = switch.receive(lb.selection_packet(flow_id=flow_id), in_port=1)
+    server = CheetahLbClient.chosen_server(outputs[0].packet)
+    cookie = lb.cookie_for(flow_id, server)
+    for _ in range(5):
+        outputs = switch.receive(lb.routing_packet(flow_id, cookie), in_port=1)
+        assert outputs[0].port == server
+
+
+def test_routing_needs_no_memory_allocation():
+    """The stateless routing program runs for an unallocated FID."""
+    switch = ActiveSwitch()
+    switch.register_host(CLIENT, 1)
+    switch.register_host(VIP, 2)
+    lb = CheetahLbClient(mac=CLIENT, vip_mac=VIP, switch_mac=VIP, fid=99)
+    cookie = lb.cookie_for(1, 5)
+    outputs = switch.receive(lb.routing_packet(1, cookie), in_port=1)
+    assert outputs[0].port == 5
+
+
+def test_pool_size_must_be_power_of_two(stack):
+    _switch, _controller, lb = stack
+    with pytest.raises(ValueError):
+        lb.install_pool_packets([1, 2, 3])
+
+
+def test_pool_capacity_bounded(stack):
+    _switch, _controller, lb = stack
+    # One block = 256 words = up to 256 servers.
+    assert lb.pool_capacity == 256
+    with pytest.raises(ValueError):
+        lb.install_pool_packets(list(range(512)))
+
+
+def test_routing_program_is_stateless():
+    program = lb_routing_program()
+    assert program.memory_access_positions() == []
+
+
+def test_counter_pinned_at_region_start(stack):
+    _switch, controller, lb = stack
+    regions = controller.allocator.regions_for(1)
+    for block_range in regions.values():
+        assert block_range.count == 1

@@ -1,0 +1,109 @@
+"""End-to-end tests for the frequent-item monitor."""
+
+import random
+
+import pytest
+
+from repro.apps import HeavyHitterClient, heavy_hitter_pattern, heavy_hitter_program
+from repro.client import ClientShim
+from repro.controller import ActiveRmtController
+from repro.packets import MacAddress
+from repro.switchsim import ActiveSwitch
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+
+@pytest.fixture
+def stack():
+    switch = ActiveSwitch()
+    switch.register_host(CLIENT, 1)
+    switch.register_host(SERVER, 2)
+    controller = ActiveRmtController(switch)
+    switch.register_host(controller.mac, 3)
+    monitor = HeavyHitterClient(
+        mac=CLIENT, server_mac=SERVER, switch_mac=controller.mac, fid=1
+    )
+    shim = ClientShim(
+        mac=CLIENT,
+        switch_mac=controller.mac,
+        fid=1,
+        program=heavy_hitter_program(),
+        demands=[16] * 6,
+    )
+    # Local submission keeps the alias constraint (not wire-encodable).
+    shim.pattern = heavy_hitter_pattern()
+    shim.on_allocated = monitor.attach
+    switch.receive(shim.request_allocation(), in_port=1)
+    for reply in controller.process_pending():
+        shim.handle_packet(reply)
+    assert monitor.synthesized is not None
+    return switch, controller, monitor
+
+
+def test_program_structure():
+    program = heavy_hitter_program()
+    assert len(program) == 40
+    assert program.memory_access_positions() == [8, 13, 16, 22, 26, 36]
+    pattern = heavy_hitter_pattern()
+    assert not pattern.elastic
+    assert pattern.aliases[5] == 2
+
+
+def test_allocation_uses_five_physical_stages(stack):
+    _switch, controller, monitor = stack
+    regions = controller.allocator.regions_for(1)
+    assert sorted(regions) == [2, 6, 8, 13, 16]
+    # Stored-count read and write alias the same stage.
+    stages = monitor.synthesized.access_stages
+    assert stages[2] == stages[5]
+
+
+def test_monitor_packets_forwarded_to_server(stack):
+    switch, _controller, monitor = stack
+    outputs = switch.receive(monitor.monitor_packet(b"aaaabbbb"), in_port=1)
+    assert len(outputs) == 1
+    assert outputs[0].port == 2  # requests continue to the server
+
+
+def test_monitor_counts_frequent_keys(stack):
+    switch, _controller, monitor = stack
+    rng = random.Random(7)
+    hot = [b"hotkey00", b"hotkey01", b"hotkey02"]
+    cold = [f"cold{i:04d}".encode() for i in range(50)]
+    for _ in range(400):
+        key = rng.choice(hot) if rng.random() < 0.8 else rng.choice(cold)
+        result = switch.receive(monitor.monitor_packet(key), in_port=1)
+        assert result, "monitor packet must not be dropped"
+    # Extract statistics via memory synchronization.
+    replies = []
+    for packet in monitor.extraction_packets():
+        outputs = switch.receive(packet, in_port=1)
+        assert outputs
+        replies.append(outputs[0].packet)
+    counts = monitor.parse_extraction(replies)
+    assert counts, "monitor must have recorded keys"
+    top = sorted(counts, key=counts.get, reverse=True)[: len(hot)]
+    # All recovered top keys should be genuinely hot ones.
+    assert set(top) <= set(hot) | set(cold)
+    hot_found = sum(1 for key in hot if key in counts)
+    assert hot_found >= 2, f"expected hot keys in {sorted(counts)[:5]}..."
+    # Hot keys dominate whatever cold keys slipped in.
+    for key in hot:
+        if key in counts:
+            assert counts[key] > 4
+
+
+def test_extraction_sees_only_own_memory(stack):
+    """The monitor's extraction packets pass memory protection."""
+    switch, _controller, monitor = stack
+    packets = monitor.extraction_packets()
+    assert len(packets) == monitor.table_slots
+    outputs = switch.receive(packets[0], in_port=1)
+    assert outputs and outputs[0].port == 1
+
+
+def test_table_slots_match_demand(stack):
+    _switch, _controller, monitor = stack
+    # 16 blocks x 256 words.
+    assert monitor.table_slots == 4096

@@ -1,0 +1,68 @@
+"""Unit tests for the P4-monolith and NetVRM baselines."""
+
+import pytest
+
+from repro.baselines import NetVrmModel, P4MonolithModel
+from repro.switchsim import SwitchConfig
+
+
+def test_monolith_reproduces_22_instance_bound():
+    model = P4MonolithModel()
+    assert model.max_instances == 22  # Section 6.1
+
+
+def test_monolith_compile_time_matches_paper_point():
+    model = P4MonolithModel()
+    # 28.79 s to compile the 22-instance monolith (Section 6.2).
+    assert model.compile_seconds(22) == pytest.approx(28.79, abs=0.1)
+    assert model.compile_seconds(1) < model.compile_seconds(22)
+    with pytest.raises(ValueError):
+        model.compile_seconds(-1)
+
+
+def test_monolith_deploy_includes_blackout():
+    model = P4MonolithModel()
+    assert model.deploy_seconds(10) > model.compile_seconds(10)
+    assert model.disruption_seconds() == pytest.approx(0.05)
+
+
+def test_monolith_vs_activermt_provisioning_gap():
+    """The headline ratio: ~1 s provisioning vs ~29 s compile."""
+    model = P4MonolithModel()
+    activermt_provisioning = 1.2  # Figure 8a plateau
+    assert model.compile_seconds(22) / activermt_provisioning > 20
+
+
+def test_netvrm_usable_fraction_below_half():
+    model = NetVrmModel()
+    assert model.usable_stage_fraction() < 0.5  # Section 5
+    assert NetVrmModel.activermt_stage_fraction() == pytest.approx(0.83)
+
+
+def test_netvrm_page_rounding():
+    model = NetVrmModel()
+    assert model.round_to_page(1) == 1024
+    assert model.round_to_page(1024) == 1024
+    assert model.round_to_page(1025) == 4096
+    assert model.round_to_page(100000) == 2 * 65536
+    with pytest.raises(ValueError):
+        model.round_to_page(0)
+
+
+def test_netvrm_fragmentation():
+    model = NetVrmModel()
+    assert model.fragmentation_bytes(1024) == 0
+    assert model.fragmentation_bytes(1500) == 4096 - 1500
+    fraction = model.fragmentation_fraction([1500, 5000, 20000])
+    assert 0 < fraction < 1
+    assert model.fragmentation_fraction([]) == 0.0
+
+
+def test_netvrm_rejects_non_pow2_pages():
+    with pytest.raises(ValueError):
+        NetVrmModel(page_sizes_bytes=(1000,))
+
+
+def test_netvrm_uses_device_config():
+    model = NetVrmModel(config=SwitchConfig(words_per_stage=4096))
+    assert model.config.words_per_stage == 4096

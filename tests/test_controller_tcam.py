@@ -1,0 +1,83 @@
+"""Failure-injection tests: TCAM exhaustion and rollback.
+
+The paper identifies per-stage TCAM capacity as the bottleneck for the
+number of distinct protection ranges.  When the allocator finds room in
+register memory but the TCAM cannot hold another range, the controller
+must deny the admission and leave every incumbent's state untouched.
+"""
+
+import pytest
+
+from repro.controller import ActiveRmtController
+from repro.switchsim import ActiveSwitch, SwitchConfig
+
+from tests.test_core_constraints import listing1_pattern
+
+
+def _tiny_tcam_controller(tcam_entries: int) -> ActiveRmtController:
+    config = SwitchConfig(tcam_entries_per_stage=tcam_entries)
+    return ActiveRmtController(ActiveSwitch(config))
+
+
+def test_admission_denied_when_tcam_full():
+    # Two entries per stage: the third tenant sharing a stage overflows.
+    controller = _tiny_tcam_controller(tcam_entries=2)
+    pattern = listing1_pattern()
+    admitted = []
+    denied = None
+    for fid in range(40):
+        report = controller.admit(fid, pattern)
+        if report.success:
+            admitted.append(fid)
+        else:
+            denied = report
+            break
+    assert denied is not None, "TCAM must eventually fill"
+    assert "TCAM" in denied.reason
+    assert admitted, "some tenants fit before exhaustion"
+
+
+def test_rollback_preserves_incumbents():
+    controller = _tiny_tcam_controller(tcam_entries=2)
+    pattern = listing1_pattern()
+    fid = 0
+    while controller.admit(fid, pattern).success:
+        fid += 1
+        assert fid < 100
+    survivors = controller.allocator.resident_fids()
+    utilization = controller.allocator.utilization()
+    # The failed fid holds nothing anywhere.
+    failed_fid = fid
+    assert failed_fid not in controller.allocator.apps
+    for stage in controller.switch.pipeline.stages:
+        assert stage.table.grant_for(failed_fid) is None
+        assert stage.table.translation_for(failed_fid) is None
+    # Incumbents keep working: grants intact, fids active.
+    for survivor in survivors:
+        regions = controller.allocator.regions_for(survivor)
+        assert regions
+        assert controller.switch.pipeline.is_active(survivor)
+        for stage, block_range in regions.items():
+            grant = controller.switch.pipeline.stage(stage).table.grant_for(
+                survivor
+            )
+            assert grant is not None
+            words = block_range.to_words(controller.switch.config.block_words)
+            assert grant.start == words.start
+            assert grant.end == words.end
+    # A retry fails the same way without corrupting state.
+    retry = controller.admit(999, pattern)
+    assert not retry.success
+    assert controller.allocator.utilization() == utilization
+    assert controller.allocator.resident_fids() == survivors
+
+
+def test_tcam_failure_counts_as_failed_report():
+    controller = _tiny_tcam_controller(tcam_entries=2)
+    pattern = listing1_pattern()
+    fid = 0
+    while controller.admit(fid, pattern).success:
+        fid += 1
+    failures = [r for r in controller.reports if not r.success]
+    assert failures
+    assert failures[-1].table_update_seconds == 0.0

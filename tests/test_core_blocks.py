@@ -1,0 +1,134 @@
+"""Unit + property tests for per-stage block pools and layouts."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import BlockRange, StagePool
+
+
+def test_block_range_words_conversion():
+    region = BlockRange(start=2, count=3).to_words(block_words=256)
+    assert region.start == 512
+    assert region.end == 1280
+    assert region.size == 768
+
+
+def test_block_range_overlap():
+    assert BlockRange(0, 4).overlaps(BlockRange(3, 2))
+    assert not BlockRange(0, 4).overlaps(BlockRange(4, 2))
+
+
+def test_inelastic_pinned_at_bottom_in_arrival_order():
+    pool = StagePool(total_blocks=16)
+    pool.add(fid=10, demand=4, arrival=1)
+    pool.add(fid=11, demand=2, arrival=2)
+    layout = pool.layout()
+    assert layout[10] == BlockRange(0, 4)
+    assert layout[11] == BlockRange(4, 2)
+    assert pool.pinned_blocks == 6
+    assert pool.fungible_blocks == 10
+
+
+def test_elastic_fill_remainder_evenly():
+    pool = StagePool(total_blocks=16)
+    pool.add(fid=1, demand=4, arrival=1)  # inelastic
+    pool.add(fid=2, demand=None, arrival=2)
+    pool.add(fid=3, demand=None, arrival=3)
+    layout = pool.layout()
+    assert layout[2] == BlockRange(4, 6)
+    assert layout[3] == BlockRange(10, 6)
+    assert pool.used_blocks == 16  # elastic apps fill the stage
+
+
+def test_elastic_remainder_goes_to_earlier_arrival():
+    pool = StagePool(total_blocks=7)
+    pool.add(fid=1, demand=None, arrival=1)
+    pool.add(fid=2, demand=None, arrival=2)
+    layout = pool.layout()
+    assert layout[1].count == 4
+    assert layout[2].count == 3
+
+
+def test_single_elastic_app_takes_whole_stage():
+    pool = StagePool(total_blocks=256)
+    pool.add(fid=1, demand=None, arrival=1)
+    assert pool.layout()[1] == BlockRange(0, 256)
+
+
+def test_fits_inelastic_accounts_for_elastic_floor():
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=1, demand=None, arrival=1)
+    pool.add(fid=2, demand=None, arrival=2)
+    # 8 blocks - 2 elastic floors = 6 max inelastic demand.
+    assert pool.fits_inelastic(6)
+    assert not pool.fits_inelastic(7)
+
+
+def test_fits_elastic_floor():
+    pool = StagePool(total_blocks=4)
+    pool.add(fid=1, demand=3, arrival=1)
+    assert pool.fits_elastic()
+    pool.add(fid=2, demand=None, arrival=2)
+    assert not pool.fits_elastic()
+
+
+def test_remove_frees_space():
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=1, demand=4, arrival=1)
+    pool.add(fid=2, demand=None, arrival=2)
+    assert pool.layout()[2].count == 4
+    pool.remove(1)
+    assert pool.layout()[2] == BlockRange(0, 8)  # elastic expands
+
+
+def test_duplicate_fid_rejected():
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=1, demand=None, arrival=1)
+    with pytest.raises(ValueError):
+        pool.add(fid=1, demand=2, arrival=2)
+
+
+def test_membership_and_listing():
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=5, demand=None, arrival=1)
+    pool.add(fid=3, demand=2, arrival=2)
+    assert 5 in pool and 3 in pool and 4 not in pool
+    assert pool.fids == [3, 5]
+    assert pool.elastic_fids == [5]
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.one_of(st.none(), st.integers(1, 8)), st.booleans()),
+        max_size=12,
+    )
+)
+def test_layout_invariants_property(entries):
+    """No overlaps, containment, pinning-below-elastic, determinism."""
+    pool = StagePool(total_blocks=64)
+    arrival = 0
+    for index, (demand, _unused) in enumerate(entries):
+        arrival += 1
+        if demand is not None and not pool.fits_inelastic(demand):
+            continue
+        if demand is None and not pool.fits_elastic():
+            continue
+        pool.add(fid=index, demand=demand, arrival=arrival)
+    layout = pool.layout()
+    ranges = sorted(layout.values(), key=lambda r: r.start)
+    for left, right in zip(ranges, ranges[1:]):
+        assert not left.overlaps(right)
+    for block_range in ranges:
+        assert 0 <= block_range.start
+        assert block_range.end <= 64
+    # Inelastic residents sit strictly below every elastic resident.
+    elastic_starts = [
+        layout[f].start for f in pool.elastic_fids if layout[f].count
+    ]
+    inelastic_ends = [
+        layout[f].end for f in pool.fids if f not in pool.elastic_fids
+    ]
+    if elastic_starts and inelastic_ends:
+        assert max(inelastic_ends) <= min(elastic_starts)
+    # Deterministic relayout.
+    assert pool.layout() == layout

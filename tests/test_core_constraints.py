@@ -1,0 +1,146 @@
+"""Unit tests for the LB/UB/B constraint model (Section 4.2)."""
+
+import pytest
+
+from repro.core import (
+    AccessPattern,
+    ConstraintError,
+    LEAST_CONSTRAINED,
+    MOST_CONSTRAINED,
+)
+from repro.isa import assemble
+
+LISTING_1 = """
+    MAR_LOAD $2
+    MEM_READ
+    MBR_EQUALS_DATA_1
+    CRET
+    MEM_READ
+    MBR_EQUALS_DATA_2
+    CRET
+    RTS
+    MEM_READ
+    MBR_STORE $0
+    RETURN
+"""
+
+
+def listing1_pattern():
+    return AccessPattern.from_program(assemble(LISTING_1, name="cache-query"))
+
+
+def test_paper_running_example_vectors():
+    """Section 4.2: Listing 1 yields LB=[2,5,9], B=[1,3,4], UB=[11,14,18]."""
+    pattern = listing1_pattern()
+    assert pattern.lower_bounds == (2, 5, 9)
+    assert pattern.min_distances == (1, 3, 4)
+    assert pattern.upper_bounds(horizon=20) == (11, 14, 18)
+    assert pattern.ingress_bound_position == 8
+    assert pattern.program_length == 11
+    assert pattern.elastic  # no explicit demands -> elastic
+
+
+def test_upper_bounds_scale_with_horizon():
+    pattern = listing1_pattern()
+    assert pattern.upper_bounds(horizon=40) == (31, 34, 38)
+
+
+def test_horizon_too_small_rejected():
+    pattern = listing1_pattern()
+    with pytest.raises(ConstraintError):
+        pattern.upper_bounds(horizon=10)
+
+
+def test_shifted_ingress_position():
+    """RTS (position 8) shifts with the second access's padding only."""
+    pattern = listing1_pattern()
+    assert pattern.shifted_ingress_position((2, 5, 9)) == 8
+    assert pattern.shifted_ingress_position((3, 6, 10)) == 9
+    assert pattern.shifted_ingress_position((2, 7, 18)) == 10
+    # Padding between RTS and the third access does not move the RTS.
+    assert pattern.shifted_ingress_position((2, 5, 18)) == 8
+
+
+def test_ingress_anchor_when_no_access_precedes():
+    pattern = AccessPattern(
+        program_length=6,
+        lower_bounds=(4,),
+        min_distances=(1,),
+        demands=(None,),
+        ingress_bound_position=2,
+    )
+    assert pattern.ingress_shift_anchor() == -1
+    assert pattern.shifted_ingress_position((10,)) == 2
+
+
+def test_mutant_length():
+    pattern = listing1_pattern()
+    assert pattern.mutant_length((2, 5, 9)) == 11
+    assert pattern.mutant_length((3, 6, 10)) == 12
+    assert pattern.mutant_length((2, 5, 18)) == 20
+
+
+def test_wire_round_trip():
+    pattern = listing1_pattern()
+    request = pattern.to_request()
+    decoded = AccessPattern.from_request(request, name="cache-query")
+    assert decoded.lower_bounds == pattern.lower_bounds
+    assert decoded.min_distances == pattern.min_distances
+    assert decoded.demands == pattern.demands
+    assert decoded.ingress_bound_position == pattern.ingress_bound_position
+    assert decoded.program_length == pattern.program_length
+
+
+def test_inelastic_demands_round_trip():
+    pattern = AccessPattern(
+        program_length=10,
+        lower_bounds=(2, 6),
+        min_distances=(1, 4),
+        demands=(2, 16),
+        name="hh",
+    )
+    assert not pattern.elastic
+    decoded = AccessPattern.from_request(pattern.to_request())
+    assert decoded.demands == (2, 16)
+
+
+def test_validation_rejects_bad_patterns():
+    with pytest.raises(ConstraintError):
+        AccessPattern(
+            program_length=5, lower_bounds=(), min_distances=(), demands=()
+        )
+    with pytest.raises(ConstraintError):  # non-increasing lower bounds
+        AccessPattern(
+            program_length=9,
+            lower_bounds=(5, 3),
+            min_distances=(1, 1),
+            demands=(None, None),
+        )
+    with pytest.raises(ConstraintError):  # access beyond program end
+        AccessPattern(
+            program_length=4,
+            lower_bounds=(6,),
+            min_distances=(1,),
+            demands=(None,),
+        )
+    with pytest.raises(ConstraintError):  # LB violates its own distances
+        AccessPattern(
+            program_length=9,
+            lower_bounds=(2, 4),
+            min_distances=(1, 5),
+            demands=(None, None),
+        )
+    with pytest.raises(ConstraintError):  # zero-block inelastic demand
+        AccessPattern(
+            program_length=9,
+            lower_bounds=(2,),
+            min_distances=(1,),
+            demands=(0,),
+        )
+
+
+def test_policies_have_expected_horizons():
+    assert MOST_CONSTRAINED.horizon(20) == 20
+    assert LEAST_CONSTRAINED.horizon(20) == 40
+    assert MOST_CONSTRAINED.enforce_ingress
+    assert not LEAST_CONSTRAINED.enforce_ingress

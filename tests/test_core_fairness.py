@@ -1,0 +1,109 @@
+"""Unit + property tests for progressive filling and Jain's index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import jain_index, progressive_fill
+
+
+def test_jain_equal_shares_is_one():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_jain_single_hog():
+    # One of n getting everything: index = 1/n.
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+
+def test_jain_edge_cases():
+    assert jain_index([]) == 1.0
+    assert jain_index([0, 0]) == 1.0
+    assert jain_index([7]) == pytest.approx(1.0)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+def test_jain_bounds_property(values):
+    index = jain_index(values)
+    assert 0.0 <= index <= 1.0 + 1e-9
+
+
+def test_progressive_fill_unbounded_split_evenly():
+    shares = progressive_fill(12, {"a": None, "b": None, "c": None})
+    assert shares == {"a": 4, "b": 4, "c": 4}
+
+
+def test_progressive_fill_remainder_by_priority():
+    shares = progressive_fill(
+        11, {"a": None, "b": None, "c": None}, priority=["c", "a", "b"]
+    )
+    assert sum(shares.values()) == 11
+    assert shares["c"] == 4  # first in priority takes the extra block
+    assert shares["a"] == 4
+    assert shares["b"] == 3
+
+
+def test_progressive_fill_respects_caps():
+    shares = progressive_fill(10, {"small": 2, "big": None})
+    assert shares["small"] == 2
+    assert shares["big"] == 8
+
+
+def test_progressive_fill_all_capped_under_capacity():
+    shares = progressive_fill(100, {"a": 3, "b": 5})
+    assert shares == {"a": 3, "b": 5}
+
+
+def test_progressive_fill_zero_capacity():
+    shares = progressive_fill(0, {"a": None, "b": 4})
+    assert shares == {"a": 0, "b": 0}
+
+
+def test_progressive_fill_capacity_smaller_than_population():
+    shares = progressive_fill(2, {"a": None, "b": None, "c": None})
+    assert sum(shares.values()) == 2
+    assert max(shares.values()) <= 1
+
+
+def test_progressive_fill_bad_priority_rejected():
+    with pytest.raises(ValueError):
+        progressive_fill(4, {"a": None}, priority=["a", "b"])
+
+
+def test_progressive_fill_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        progressive_fill(-1, {"a": None})
+
+
+@given(
+    capacity=st.integers(0, 500),
+    caps=st.lists(
+        st.one_of(st.none(), st.integers(1, 60)), min_size=1, max_size=12
+    ),
+)
+def test_progressive_fill_maxmin_property(capacity, caps):
+    demands = {f"app{i}": cap for i, cap in enumerate(caps)}
+    priority = sorted(demands)
+    shares = progressive_fill(capacity, demands, priority=priority)
+    # 1. Caps respected; no negative shares.
+    for key, cap in demands.items():
+        assert shares[key] >= 0
+        if cap is not None:
+            assert shares[key] <= cap
+    # 2. Work conservation: all capacity used unless every cap is met.
+    total = sum(shares.values())
+    cap_total = sum(c for c in caps if c is not None)
+    if any(c is None for c in caps):
+        assert total == min(
+            capacity, capacity
+        )  # unbounded claimant absorbs everything
+        assert total == capacity or capacity == 0
+    else:
+        assert total == min(capacity, cap_total)
+    # 3. Max-min: a claimant below its cap is within 1 block of the max.
+    unsatisfied = [
+        shares[key]
+        for key, cap in demands.items()
+        if cap is None or shares[key] < cap
+    ]
+    if unsatisfied:
+        assert max(unsatisfied) - min(unsatisfied) <= 1

@@ -1,0 +1,92 @@
+"""Unit tests for the opcode space."""
+
+import pytest
+
+from repro.isa import (
+    Opcode,
+    OpcodeClass,
+    MEMORY_OPCODES,
+    BRANCH_OPCODES,
+    opcode_class,
+    is_memory_access,
+)
+from repro.isa.opcodes import (
+    INGRESS_PREFERRED_OPCODES,
+    OPERAND_OPCODES,
+    RETURN_OPCODES,
+    TABLE_OPERAND_OPCODES,
+    has_operand,
+    is_branch,
+)
+
+
+def test_opcodes_are_unique_bytes():
+    values = [int(op) for op in Opcode]
+    assert len(values) == len(set(values))
+    assert all(0 <= v <= 0xFF for v in values)
+
+
+def test_eof_is_zero():
+    # A zeroed header must terminate a program (fail-safe truncation).
+    assert Opcode.EOF == 0
+
+
+def test_opcode_classes_match_appendix_sections():
+    assert opcode_class(Opcode.NOP) is OpcodeClass.SPECIAL
+    assert opcode_class(Opcode.MBR_LOAD) is OpcodeClass.DATA_COPY
+    assert opcode_class(Opcode.MAX) is OpcodeClass.DATA_MANIPULATION
+    assert opcode_class(Opcode.CJUMP) is OpcodeClass.CONTROL_FLOW
+    assert opcode_class(Opcode.MEM_WRITE) is OpcodeClass.MEMORY
+    assert opcode_class(Opcode.RTS) is OpcodeClass.FORWARDING
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert opcode_class(op) in OpcodeClass
+
+
+def test_memory_opcodes_complete():
+    expected = {
+        Opcode.MEM_READ,
+        Opcode.MEM_WRITE,
+        Opcode.MEM_INCREMENT,
+        Opcode.MEM_MINREAD,
+        Opcode.MEM_MINREADINC,
+    }
+    assert MEMORY_OPCODES == expected
+    for op in expected:
+        assert is_memory_access(op)
+    assert not is_memory_access(Opcode.NOP)
+
+
+def test_branch_opcodes():
+    assert BRANCH_OPCODES == {Opcode.CJUMP, Opcode.CJUMPI, Opcode.UJUMP}
+    for op in BRANCH_OPCODES:
+        assert is_branch(op)
+    assert not is_branch(Opcode.CRET)  # conditional return is not a skip
+
+
+def test_operand_opcodes_take_slots():
+    for op in OPERAND_OPCODES:
+        assert has_operand(op)
+    assert not has_operand(Opcode.MEM_READ)
+
+
+def test_rts_prefers_ingress():
+    assert Opcode.RTS in INGRESS_PREFERRED_OPCODES
+    assert Opcode.CRTS in INGRESS_PREFERRED_OPCODES
+
+
+def test_return_opcodes():
+    assert Opcode.RETURN in RETURN_OPCODES
+    assert Opcode.CRET in RETURN_OPCODES
+    assert Opcode.CRETI in RETURN_OPCODES
+
+
+def test_table_operand_opcodes_are_translation_helpers():
+    assert TABLE_OPERAND_OPCODES == {Opcode.ADDR_MASK, Opcode.ADDR_OFFSET}
+
+
+def test_disjoint_special_sets():
+    assert not MEMORY_OPCODES & BRANCH_OPCODES
+    assert not MEMORY_OPCODES & OPERAND_OPCODES

@@ -1,0 +1,137 @@
+"""Unit tests for ActiveProgram structure and mutation primitives."""
+
+import pytest
+
+from repro.isa import ActiveProgram, Instruction, Opcode, ProgramError
+
+
+def _cache_query_program():
+    """The Listing 1 cache-query program, built by hand."""
+    return ActiveProgram(
+        [
+            Instruction(Opcode.MAR_LOAD, operand=2),  # 1: locate bucket
+            Instruction(Opcode.MEM_READ),  # 2: first 4 key bytes
+            Instruction(Opcode.MBR_EQUALS_DATA_1),  # 3
+            Instruction(Opcode.CRET),  # 4: partial match?
+            Instruction(Opcode.MEM_READ),  # 5: next 4 key bytes
+            Instruction(Opcode.MBR_EQUALS_DATA_2),  # 6
+            Instruction(Opcode.CRET),  # 7: full match?
+            Instruction(Opcode.RTS),  # 8: create reply
+            Instruction(Opcode.MEM_READ),  # 9: read the value
+            Instruction(Opcode.MBR_STORE),  # 10: write to packet
+            Instruction(Opcode.RETURN),  # 11: fin
+        ],
+        name="cache-query",
+    )
+
+
+def test_listing1_structure():
+    program = _cache_query_program()
+    assert len(program) == 11
+    # The paper derives LB = [2 5 9] from exactly this program (Sec. 4.2).
+    assert program.memory_access_positions() == [2, 5, 9]
+    # RTS at line 8 constrains the mutant set to the ingress pipeline.
+    assert program.ingress_bound_positions() == [8]
+    assert not program.has_fork()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramError):
+        ActiveProgram([])
+
+
+def test_explicit_eof_rejected():
+    with pytest.raises(ProgramError):
+        ActiveProgram([Instruction(Opcode.EOF)])
+
+
+def test_branch_to_undefined_label_rejected():
+    with pytest.raises(ProgramError):
+        ActiveProgram(
+            [Instruction(Opcode.CJUMP, label=1), Instruction(Opcode.RETURN)]
+        )
+
+
+def test_backward_branch_rejected():
+    with pytest.raises(ProgramError):
+        ActiveProgram(
+            [
+                Instruction(Opcode.NOP, label=1),
+                Instruction(Opcode.CJUMP, label=1),
+                Instruction(Opcode.RETURN),
+            ]
+        )
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(ProgramError):
+        ActiveProgram(
+            [
+                Instruction(Opcode.CJUMP, label=1),
+                Instruction(Opcode.NOP, label=1),
+                Instruction(Opcode.NOP, label=1),
+            ]
+        )
+
+
+def test_forward_branch_accepted():
+    program = ActiveProgram(
+        [
+            Instruction(Opcode.CJUMP, label=1),
+            Instruction(Opcode.DROP),
+            Instruction(Opcode.NOP, label=1),
+            Instruction(Opcode.RETURN),
+        ]
+    )
+    assert program.label_positions() == {1: 2}
+
+
+def test_with_nops_before_shifts_accesses():
+    program = _cache_query_program()
+    # Figure 4: one NOP at line 2 moves accesses from [2,5,9] to [3,6,10].
+    mutant = program.with_nops_before([(2, 1)])
+    assert mutant.memory_access_positions() == [3, 6, 10]
+    assert len(mutant) == 12
+    # Original program is unchanged (immutability).
+    assert program.memory_access_positions() == [2, 5, 9]
+
+
+def test_with_nops_before_multiple_points():
+    program = _cache_query_program()
+    mutant = program.with_nops_before([(2, 1), (5, 2), (9, 1)])
+    assert mutant.memory_access_positions() == [3, 8, 13]
+    # RTS (line 8) shifts by the padding inserted before it (1 + 2 NOPs),
+    # but not by the insertion at line 9 that follows it.
+    assert mutant.ingress_bound_positions() == [11]
+
+
+def test_with_nops_rejects_bad_positions():
+    program = _cache_query_program()
+    with pytest.raises(ProgramError):
+        program.with_nops_before([(0, 1)])
+    with pytest.raises(ProgramError):
+        program.with_nops_before([(12, 1)])
+    with pytest.raises(ProgramError):
+        program.with_nops_before([(2, -1)])
+    with pytest.raises(ProgramError):
+        program.with_nops_before([(2, 1), (2, 1)])
+
+
+def test_semantics_preserved_by_mutation():
+    program = _cache_query_program()
+    mutant = program.with_nops_before([(2, 3)])
+    original_ops = [i.opcode for i in program if i.opcode is not Opcode.NOP]
+    mutant_ops = [i.opcode for i in mutant if i.opcode is not Opcode.NOP]
+    assert original_ops == mutant_ops
+
+
+def test_retarget_arguments_pads_to_four():
+    program = _cache_query_program()
+    assert program.retarget_arguments([7, 9]) == [7, 9, 0, 0]
+    assert program.retarget_arguments([1], slots=[2]) == [0, 0, 1, 0]
+
+
+def test_pretty_listing_contains_all_lines():
+    text = _cache_query_program().pretty()
+    assert "MAR_LOAD" in text
+    assert text.count("\n") == 11  # header + 11 instructions

@@ -1,0 +1,69 @@
+"""Unit tests for SwitchConfig device-parameter arithmetic."""
+
+import pytest
+
+from repro.switchsim import SwitchConfig
+
+
+def test_paper_defaults():
+    config = SwitchConfig()
+    assert config.num_stages == 20
+    assert config.ingress_stages == 10
+    # 1-KiB blocks over 256 KiB/stage -> 256 blocks (Section 4.1).
+    assert config.blocks_per_stage == 256
+    assert config.block_words == 256
+
+
+def test_total_memory_sums_stages():
+    config = SwitchConfig()
+    assert config.total_memory_bytes == 20 * 65536 * 4
+
+
+def test_ingress_split():
+    config = SwitchConfig()
+    assert config.is_ingress(1)
+    assert config.is_ingress(10)
+    assert not config.is_ingress(11)
+    assert not config.is_ingress(20)
+    with pytest.raises(ValueError):
+        config.is_ingress(0)
+    with pytest.raises(ValueError):
+        config.is_ingress(21)
+
+
+def test_logical_to_physical_mapping():
+    config = SwitchConfig()
+    assert config.physical_stage(1) == 1
+    assert config.physical_stage(20) == 20
+    assert config.physical_stage(21) == 1  # first recirculated stage
+    assert config.physical_stage(45) == 5
+    assert config.pass_of(1) == 1
+    assert config.pass_of(20) == 1
+    assert config.pass_of(21) == 2
+    assert config.pass_of(41) == 3
+
+
+def test_granularity_sweep():
+    config = SwitchConfig()
+    fine = config.with_granularity(256)
+    assert fine.blocks_per_stage == 1024
+    coarse = config.with_granularity(2048)
+    assert coarse.blocks_per_stage == 128
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        SwitchConfig(num_stages=1)
+    with pytest.raises(ValueError):
+        SwitchConfig(ingress_stages=20)
+    with pytest.raises(ValueError):
+        SwitchConfig(block_bytes=6)  # not a whole number of words
+    with pytest.raises(ValueError):
+        SwitchConfig(words_per_stage=100, block_bytes=1024)  # block > stage
+    with pytest.raises(ValueError):
+        SwitchConfig(max_recirculations=-1)
+
+
+def test_max_logical_stages_budget():
+    config = SwitchConfig(max_recirculations=2)
+    assert config.max_logical_stages == 60

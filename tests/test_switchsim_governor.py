@@ -1,0 +1,93 @@
+"""Tests for the recirculation-bandwidth governor (Section 7.2)."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.packets import ActivePacket, ControlFlags, MacAddress
+from repro.switchsim import ActiveSwitch
+from repro.switchsim.governor import RecirculationGovernor
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+
+def test_non_recirculating_packets_always_admitted():
+    governor = RecirculationGovernor(rate_per_second=1, burst=1)
+    for _ in range(1000):
+        assert governor.admit(fid=1, recirculations=0, now=0.0)
+    assert governor.suppressed == 0
+
+
+def test_burst_then_suppression():
+    governor = RecirculationGovernor(rate_per_second=10, burst=3)
+    assert governor.admit(1, 1, now=0.0)
+    assert governor.admit(1, 1, now=0.0)
+    assert governor.admit(1, 1, now=0.0)
+    assert not governor.admit(1, 1, now=0.0)  # bucket drained
+    assert governor.suppressed == 1
+
+
+def test_tokens_refill_over_time():
+    governor = RecirculationGovernor(rate_per_second=10, burst=5)
+    for _ in range(5):
+        governor.admit(1, 1, now=0.0)
+    assert not governor.admit(1, 1, now=0.0)
+    assert governor.admit(1, 1, now=0.5)  # 5 tokens accrued
+
+
+def test_fids_are_isolated():
+    governor = RecirculationGovernor(rate_per_second=1, burst=1)
+    assert governor.admit(1, 1, now=0.0)
+    assert not governor.admit(1, 1, now=0.0)
+    assert governor.admit(2, 1, now=0.0)  # other tenant unaffected
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RecirculationGovernor(rate_per_second=0)
+    with pytest.raises(ValueError):
+        RecirculationGovernor(burst=-1)
+
+
+def test_switch_suppresses_recirculation_hogs():
+    """A 30-instruction (recirculating) program gets rate-limited; the
+    suppressed packets are forwarded plain instead of executed."""
+    switch = ActiveSwitch()
+    switch.register_host(CLIENT, 1)
+    switch.register_host(SERVER, 2)
+    switch.governor = RecirculationGovernor(rate_per_second=1, burst=2)
+    clock = {"now": 0.0}
+    switch.clock = lambda: clock["now"]
+    source = "\n".join(["RTS"] + ["NOP"] * 28 + ["RETURN"])
+    program = list(assemble(source))
+
+    returned = 0
+    forwarded = 0
+    for _ in range(10):
+        packet = ActivePacket.program(
+            src=CLIENT, dst=SERVER, fid=7, instructions=list(program)
+        )
+        outputs = switch.receive(packet, in_port=1)
+        assert len(outputs) == 1
+        if outputs[0].port == 1:  # RTS'd: the program executed
+            returned += 1
+        else:
+            forwarded += 1
+            assert not outputs[0].packet.has_flag(ControlFlags.FROM_SWITCH)
+    assert returned == 2  # the burst allowance
+    assert forwarded == 8
+    assert switch.governor.suppressed == 8
+
+
+def test_switch_governor_spares_short_programs():
+    switch = ActiveSwitch()
+    switch.register_host(CLIENT, 1)
+    switch.register_host(SERVER, 2)
+    switch.governor = RecirculationGovernor(rate_per_second=1, burst=1)
+    program = list(assemble("RTS\nRETURN"))
+    for _ in range(50):
+        packet = ActivePacket.program(
+            src=CLIENT, dst=SERVER, fid=7, instructions=list(program)
+        )
+        outputs = switch.receive(packet, in_port=1)
+        assert outputs[0].port == 1  # never suppressed

@@ -1,0 +1,274 @@
+"""Integration tests for the pipeline interpreter.
+
+These run real active programs (including Listing 1's cache query)
+through the simulated pipeline with manually installed grants.
+"""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.packets import ActivePacket, ControlFlags, MacAddress
+from repro.switchsim import (
+    PacketDisposition,
+    Pipeline,
+    StageGrant,
+    SwitchConfig,
+)
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+CACHE_QUERY = """
+    MAR_LOAD $2        ; bucket address in arg slot 2
+    MEM_READ
+    MBR_EQUALS_DATA_1
+    CRET
+    MEM_READ
+    MBR_EQUALS_DATA_2
+    CRET
+    RTS
+    MEM_READ
+    MBR_STORE $0
+    RETURN
+"""
+
+
+def _packet(program, args, fid=1):
+    return ActivePacket.program(
+        src=CLIENT, dst=SERVER, fid=fid, instructions=list(program), args=args
+    )
+
+
+def _grant_stages(pipeline, fid, stages, start=0, end=1024):
+    for stage in stages:
+        pipeline.stage(stage).table.install_grant(
+            StageGrant(fid=fid, start=start, end=end)
+        )
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(SwitchConfig())
+
+
+def test_cache_query_hit(pipeline):
+    program = assemble(CACHE_QUERY, name="cache-query")
+    _grant_stages(pipeline, fid=1, stages=[2, 5, 9])
+    # Pre-populate the bucket: key halves in stages 2 and 5, value in 9.
+    bucket = 17
+    pipeline.stage(2).registers.write(bucket, 0xAAAA0001)
+    pipeline.stage(5).registers.write(bucket, 0xBBBB0002)
+    pipeline.stage(9).registers.write(bucket, 0xCAFED00D)
+
+    packet = _packet(program, args=[0xAAAA0001, 0xBBBB0002, bucket, 0])
+    result = pipeline.execute(packet)
+
+    assert result.disposition is PacketDisposition.RETURN_TO_SENDER
+    assert result.packet.get_arg(0) == 0xCAFED00D  # value written to packet
+    assert result.packet.eth.dst == CLIENT  # swapped by RTS
+    assert result.passes == 1  # 11 instructions fit in one pass
+    assert result.recirculations == 0
+
+
+def test_cache_query_miss_forwards(pipeline):
+    program = assemble(CACHE_QUERY, name="cache-query")
+    _grant_stages(pipeline, fid=1, stages=[2, 5, 9])
+    bucket = 17
+    pipeline.stage(2).registers.write(bucket, 0xAAAA0001)
+    pipeline.stage(5).registers.write(bucket, 0xBBBB0002)
+
+    # Wrong first key half: CRET terminates at line 4; forwarded onward.
+    packet = _packet(program, args=[0xDEAD0000, 0xBBBB0002, bucket, 0])
+    result = pipeline.execute(packet)
+    assert result.disposition is PacketDisposition.FORWARD
+    assert result.packet.eth.dst == SERVER
+
+    # Correct first half but wrong second: miss at line 7.
+    packet = _packet(program, args=[0xAAAA0001, 0xDEAD0000, bucket, 0])
+    result = pipeline.execute(packet)
+    assert result.disposition is PacketDisposition.FORWARD
+
+
+def test_memory_protection_denies_out_of_region(pipeline):
+    program = assemble("MAR_LOAD $0\nMEM_READ\nRETURN")
+    _grant_stages(pipeline, fid=1, stages=[2], start=0, end=100)
+    packet = _packet(program, args=[100, 0, 0, 0])  # first invalid index
+    result = pipeline.execute(packet)
+    assert result.disposition is PacketDisposition.FAULT
+    assert "denied" in result.phv.fault_reason
+    assert pipeline.faults == 1
+
+
+def test_memory_access_without_grant_faults(pipeline):
+    program = assemble("MAR_LOAD $0\nMEM_WRITE\nRETURN")
+    packet = _packet(program, args=[0, 0, 0, 0], fid=42)
+    result = pipeline.execute(packet)
+    assert result.disposition is PacketDisposition.FAULT
+
+
+def test_isolation_between_fids(pipeline):
+    """A FID can never read or write another FID's region."""
+    program = assemble("MAR_LOAD $0\nMEM_WRITE\nRETURN")
+    _grant_stages(pipeline, fid=1, stages=[2], start=0, end=100)
+    _grant_stages(pipeline, fid=2, stages=[2], start=100, end=200)
+    own = pipeline.execute(_packet(program, args=[150, 0, 0, 0], fid=2))
+    assert own.disposition is PacketDisposition.FORWARD
+    foreign = pipeline.execute(_packet(program, args=[50, 0, 0, 0], fid=2))
+    assert foreign.disposition is PacketDisposition.FAULT
+
+
+def test_long_program_recirculates(pipeline):
+    # 25 NOPs + RETURN = 26 instructions -> 2 passes on a 20-stage pipe.
+    source = "\n".join(["NOP"] * 25 + ["RETURN"])
+    result = pipeline.execute(_packet(assemble(source), args=[]))
+    assert result.disposition is PacketDisposition.FORWARD
+    assert result.passes == 2
+    assert result.recirculations == 1
+
+
+def test_recirculation_budget_enforced():
+    pipeline = Pipeline(SwitchConfig(max_recirculations=1))
+    source = "\n".join(["NOP"] * 45 + ["RETURN"])  # needs 3 passes
+    result = pipeline.execute(_packet(assemble(source), args=[]))
+    assert result.disposition is PacketDisposition.FAULT
+    assert "budget" in result.phv.fault_reason
+
+
+def test_rts_in_ingress_is_free(pipeline):
+    program = assemble("NOP\nNOP\nRTS\nRETURN")
+    result = pipeline.execute(_packet(program, args=[]))
+    assert result.disposition is PacketDisposition.RETURN_TO_SENDER
+    assert result.recirculations == 0
+    assert not result.phv.rts_at_egress
+
+
+def test_rts_at_egress_costs_recirculation(pipeline):
+    # Pad RTS past stage 10 into the egress half.
+    program = assemble("\n".join(["NOP"] * 12 + ["RTS", "RETURN"]))
+    result = pipeline.execute(_packet(program, args=[]))
+    assert result.disposition is PacketDisposition.RETURN_TO_SENDER
+    assert result.phv.rts_at_egress
+    assert result.recirculations == 1
+
+
+def test_branch_skips_until_label(pipeline):
+    # MBR = 1 -> CJUMP taken -> the DROP in the skipped arm must not run.
+    program = assemble(
+        """
+        MBR_LOAD $0
+        CJUMP @keep
+        DROP
+        keep: NOP
+        RETURN
+        """
+    )
+    result = pipeline.execute(_packet(program, args=[1, 0, 0, 0]))
+    assert result.disposition is PacketDisposition.FORWARD
+
+    # MBR = 0 -> branch not taken -> DROP executes.
+    result = pipeline.execute(_packet(program, args=[0, 0, 0, 0]))
+    assert result.disposition is PacketDisposition.DROP
+
+
+def test_skipped_instructions_still_consume_stages(pipeline):
+    program = assemble(
+        """
+        MBR_LOAD $0
+        CJUMP @end
+        NOP
+        NOP
+        end: NOP
+        RETURN
+        """
+    )
+    result = pipeline.execute(_packet(program, args=[1, 0, 0, 0]))
+    # All six headers were consumed even though two were skipped.
+    assert result.phv.pc == 6
+    assert result.executed_instructions == 4
+
+
+def test_ujump_always_skips(pipeline):
+    program = assemble(
+        """
+        UJUMP @end
+        DROP
+        end: NOP
+        RETURN
+        """
+    )
+    result = pipeline.execute(_packet(program, args=[]))
+    assert result.disposition is PacketDisposition.FORWARD
+
+
+def test_creti_returns_when_zero(pipeline):
+    program = assemble("MBR_LOAD $0\nCRETI\nDROP\nRETURN")
+    assert (
+        pipeline.execute(_packet(program, args=[0, 0, 0, 0])).disposition
+        is PacketDisposition.FORWARD
+    )
+    assert (
+        pipeline.execute(_packet(program, args=[1, 0, 0, 0])).disposition
+        is PacketDisposition.DROP
+    )
+
+
+def test_fork_creates_clone(pipeline):
+    program = assemble("FORK\nNOP\nRETURN")
+    result = pipeline.execute(_packet(program, args=[]))
+    assert result.disposition is PacketDisposition.FORWARD
+    assert len(result.clones) == 1
+    clone = result.clones[0]
+    assert clone.disposition is PacketDisposition.FORWARD
+    # Cloned packets always recirculate (Section 3.1).
+    assert clone.passes >= 2
+
+
+def test_deactivated_fid_bypasses_execution(pipeline):
+    program = assemble("MAR_LOAD $0\nMEM_WRITE\nRTS\nRETURN")
+    _grant_stages(pipeline, fid=1, stages=[2])
+    pipeline.deactivate_fid(1)
+    result = pipeline.execute(_packet(program, args=[5, 0, 0, 0]))
+    # Forwarded unprocessed: no RTS, no memory write.
+    assert result.disposition is PacketDisposition.FORWARD
+    assert pipeline.stage(2).registers.read(5) == 0
+    pipeline.reactivate_fid(1)
+    result = pipeline.execute(_packet(program, args=[5, 0, 0, 0]))
+    assert result.disposition is PacketDisposition.RETURN_TO_SENDER
+
+
+def test_hash_then_mask_offset_translation(pipeline):
+    """Runtime address translation: HASH -> ADDR_MASK -> ADDR_OFFSET."""
+    program = assemble(
+        """
+        MBR_LOAD $0
+        COPY_HASHDATA_MBR
+        HASH
+        ADDR_MASK
+        ADDR_OFFSET
+        MEM_INCREMENT
+        RETURN
+        """
+    )
+    # Region of 256 words at [512, 768) in stage 6; mask/offset installed
+    # by the controller so hashes land inside the region.
+    for stage in (4, 5, 6):
+        pipeline.stage(stage).table.install_grant(
+            StageGrant(fid=1, start=512, end=768, mask=0xFF, offset=512)
+        )
+    result = pipeline.execute(_packet(program, args=[1234, 0, 0, 0]))
+    assert result.disposition is PacketDisposition.FORWARD
+    assert 512 <= result.phv.mar < 768
+    assert pipeline.stage(6).registers.read(result.phv.mar) == 1
+
+
+def test_executed_bit_set_for_shrinking(pipeline):
+    program = assemble("NOP\nNOP\nRETURN")
+    result = pipeline.execute(_packet(program, args=[]))
+    assert all(instr.executed for instr in result.packet.instructions)
+
+
+def test_instructions_beyond_return_not_executed(pipeline):
+    program = assemble("RETURN\nDROP")
+    result = pipeline.execute(_packet(program, args=[]))
+    assert result.disposition is PacketDisposition.FORWARD
+    assert not result.packet.instructions[1].executed

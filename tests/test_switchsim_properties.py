@@ -1,0 +1,133 @@
+"""Property-based tests of the pipeline's core safety invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instruction, Opcode
+from repro.packets import ActivePacket, ControlFlags, MacAddress, encode_packet, decode_packet
+from repro.switchsim import Pipeline, StageGrant, SwitchConfig
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+#: Opcodes a hostile program may combine (anything that manipulates MAR
+#: or touches memory, plus control flow).
+_HOSTILE_OPCODES = [
+    Opcode.MAR_LOAD,
+    Opcode.MBR_LOAD,
+    Opcode.MBR2_LOAD,
+    Opcode.COPY_MAR_MBR,
+    Opcode.MAR_ADD_MBR,
+    Opcode.MAR_ADD_MBR2,
+    Opcode.MAR_MBR_ADD_MBR2,
+    Opcode.BIT_AND_MAR_MBR,
+    Opcode.MBR_NOT,
+    Opcode.SWAP_MBR_MBR2,
+    Opcode.HASH,
+    Opcode.ADDR_MASK,
+    Opcode.ADDR_OFFSET,
+    Opcode.MEM_READ,
+    Opcode.MEM_WRITE,
+    Opcode.MEM_INCREMENT,
+    Opcode.MEM_MINREAD,
+    Opcode.MEM_MINREADINC,
+    Opcode.NOP,
+    Opcode.COPY_HASHDATA_MBR,
+]
+
+
+@st.composite
+def hostile_programs(draw):
+    ops = draw(st.lists(st.sampled_from(_HOSTILE_OPCODES), min_size=1, max_size=18))
+    instructions = []
+    for op in ops:
+        operand = 0
+        from repro.isa.opcodes import has_operand
+
+        if has_operand(op):
+            operand = draw(st.integers(0, 7))
+        instructions.append(Instruction(op, operand=operand))
+    instructions.append(Instruction(Opcode.RETURN))
+    return instructions
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    program=hostile_programs(),
+    args=st.lists(st.integers(0, 0xFFFFFFFF), min_size=4, max_size=8),
+)
+def test_memory_protection_never_violated(program, args):
+    """No program, however crafted, writes outside its granted region.
+
+    fid 1 is granted [100, 200) in every stage; fid 2 owns [200, 300).
+    Canary values in fid 2's region and in unallocated memory must
+    survive any fid-1 program.
+    """
+    pipeline = Pipeline(SwitchConfig(words_per_stage=1024))
+    for stage in pipeline.stages:
+        stage.table.install_grant(
+            StageGrant(fid=1, start=100, end=200, mask=63, offset=100)
+        )
+        stage.table.install_grant(StageGrant(fid=2, start=200, end=300))
+        stage.registers.write(250, 0xD00D)  # fid 2's canary
+        stage.registers.write(50, 0xBEEF)  # unallocated canary
+    packet = ActivePacket.program(
+        src=CLIENT, dst=SERVER, fid=1, instructions=list(program), args=list(args)
+    )
+    pipeline.execute(packet)
+    for stage in pipeline.stages:
+        assert stage.registers.read(250) == 0xD00D
+        assert stage.registers.read(50) == 0xBEEF
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=hostile_programs(),
+    args=st.lists(st.integers(0, 0xFFFFFFFF), min_size=4, max_size=4),
+)
+def test_execution_always_terminates(program, args):
+    """Execution consumes bounded passes (no infinite recirculation)."""
+    config = SwitchConfig(max_recirculations=3)
+    pipeline = Pipeline(config)
+    packet = ActivePacket.program(
+        src=CLIENT, dst=SERVER, fid=9, instructions=list(program), args=list(args)
+    )
+    result = pipeline.execute(packet)
+    assert result.passes <= 1 + config.max_recirculations + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_nops=st.integers(1, 25))
+def test_shrinking_reduces_wire_size(n_nops):
+    """Executed instructions are discarded by the deparser, so active
+    packets shrink after execution (Section 3.1)."""
+    pipeline = Pipeline(SwitchConfig())
+    instructions = [Instruction(Opcode.NOP)] * n_nops + [
+        Instruction(Opcode.RETURN)
+    ]
+    packet = ActivePacket.program(
+        src=CLIENT, dst=SERVER, fid=1, instructions=instructions
+    )
+    before = len(encode_packet(packet, shrink=False))
+    result = pipeline.execute(packet)
+    after = len(encode_packet(result.packet, shrink=True))
+    assert after < before
+    # Shrunk packets still decode cleanly.
+    decoded = decode_packet(encode_packet(result.packet, shrink=True))
+    assert all(i.executed for i in result.packet.instructions)
+    assert len(decoded.instructions) == 0  # everything executed
+
+
+def test_no_shrink_flag_preserves_size():
+    pipeline = Pipeline(SwitchConfig())
+    instructions = [Instruction(Opcode.NOP)] * 5 + [Instruction(Opcode.RETURN)]
+    packet = ActivePacket.program(
+        src=CLIENT,
+        dst=SERVER,
+        fid=1,
+        instructions=instructions,
+        flags=ControlFlags.NO_SHRINK,
+    )
+    before = len(encode_packet(packet, shrink=False))
+    result = pipeline.execute(packet)
+    after = len(encode_packet(result.packet, shrink=True))
+    assert after == before

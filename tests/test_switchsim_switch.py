@@ -1,0 +1,135 @@
+"""Unit tests for the top-level switch: forwarding, digests, latency."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.packets import (
+    AccessConstraintEntry,
+    ActivePacket,
+    AllocationRequestHeader,
+    ControlFlags,
+    MacAddress,
+    PacketType,
+)
+from repro.switchsim import ActiveSwitch, LatencyModel, SwitchConfig
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+
+@pytest.fixture
+def switch():
+    sw = ActiveSwitch()
+    sw.register_host(CLIENT, 1)
+    sw.register_host(SERVER, 2)
+    return sw
+
+
+def _program_packet(source, args=None, fid=1):
+    return ActivePacket.program(
+        src=CLIENT,
+        dst=SERVER,
+        fid=fid,
+        instructions=list(assemble(source)),
+        args=args or [],
+    )
+
+
+def test_forwarding_to_registered_port(switch):
+    outputs = switch.receive(_program_packet("NOP\nRETURN"), in_port=1)
+    assert len(outputs) == 1
+    assert outputs[0].port == 2
+
+
+def test_rts_goes_back_out_arrival_port(switch):
+    outputs = switch.receive(_program_packet("RTS\nRETURN"), in_port=1)
+    assert len(outputs) == 1
+    assert outputs[0].port == 1
+    assert outputs[0].packet.eth.dst == CLIENT
+    assert outputs[0].packet.has_flag(ControlFlags.FROM_SWITCH)
+
+
+def test_unknown_destination_dropped(switch):
+    stranger = MacAddress.from_host_id(99)
+    packet = ActivePacket.program(
+        src=CLIENT, dst=stranger, fid=1, instructions=list(assemble("NOP\nRETURN"))
+    )
+    assert switch.receive(packet, in_port=1) == []
+
+
+def test_alloc_request_digested_not_forwarded(switch):
+    request = AllocationRequestHeader(
+        program_length=11,
+        accesses=(AccessConstraintEntry(2, 1, 0),),
+        ingress_bound_position=8,
+    )
+    packet = ActivePacket.alloc_request(src=CLIENT, dst=SERVER, fid=5, request=request)
+    assert switch.receive(packet, in_port=1) == []
+    assert switch.digests_pending == 1
+    drained = switch.poll_digests()
+    assert len(drained) == 1
+    assert drained[0].ptype == PacketType.ALLOC_REQUEST
+    assert switch.digests_pending == 0
+
+
+def test_control_packet_digested(switch):
+    packet = ActivePacket.control(
+        src=CLIENT, dst=SERVER, fid=5, flags=ControlFlags.SNAPSHOT_COMPLETE
+    )
+    switch.receive(packet, in_port=1)
+    assert switch.digests_pending == 1
+
+
+def test_poll_digests_respects_limit(switch):
+    for _ in range(3):
+        switch.receive(
+            ActivePacket.control(src=CLIENT, dst=SERVER, fid=1, flags=0), in_port=1
+        )
+    assert len(switch.poll_digests(limit=2)) == 2
+    assert switch.digests_pending == 1
+
+
+def test_inject_controller_packet(switch):
+    from repro.packets import AllocationResponseHeader
+
+    packet = ActivePacket.alloc_response(
+        src=SERVER, dst=CLIENT, fid=5, response=AllocationResponseHeader.empty()
+    )
+    outputs = switch.inject(packet)
+    assert len(outputs) == 1
+    assert outputs[0].port == 1
+
+
+def test_port_stats_counted(switch):
+    switch.receive(_program_packet("NOP\nRETURN"), in_port=1)
+    assert switch.port_stats[1].rx_packets == 1
+    assert switch.port_stats[2].tx_packets == 1
+    assert switch.port_stats[1].rx_bytes > 0
+
+
+def test_register_host_rejects_bad_port(switch):
+    with pytest.raises(ValueError):
+        switch.register_host(CLIENT, 1000)
+
+
+def test_latency_grows_with_program_length(switch):
+    """Figure 8b shape: longer programs -> strictly higher RTT."""
+    model = LatencyModel()
+    config = SwitchConfig()
+    rtts = []
+    for n in (10, 20, 30):
+        # The paper's probe programs are NOPs plus an RTS; the compiler
+        # maps the RTS to the ingress pipeline (Section 6.2).
+        source = "\n".join(["RTS"] + ["NOP"] * (n - 2) + ["RETURN"])
+        outputs = switch.receive(_program_packet(source), in_port=1)
+        assert outputs, f"{n}-instruction program should be returned"
+        rtts.append(model.rtt_us(outputs[0].result, config))
+    assert rtts[0] < rtts[1] < rtts[2]
+    # All active RTTs exceed the echo baseline.
+    assert all(rtt > model.echo_rtt_us() for rtt in rtts)
+
+
+def test_latency_30_instructions_recirculates(switch):
+    source = "\n".join(["RTS"] + ["NOP"] * 28 + ["RETURN"])
+    outputs = switch.receive(_program_packet(source), in_port=1)
+    assert outputs[0].result.passes == 2

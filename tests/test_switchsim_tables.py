@@ -1,0 +1,116 @@
+"""Unit + property tests for match tables, grants, and TCAM accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.switchsim import StageGrant, StageTable, TcamCapacityError, range_to_prefixes
+
+
+def test_range_to_prefixes_exact_block():
+    # An aligned power-of-two region is a single TCAM entry.
+    assert range_to_prefixes(0, 1024) == [(0, 22)]
+    assert range_to_prefixes(1024, 2048) == [(1024, 22)]
+
+
+def test_range_to_prefixes_empty():
+    assert range_to_prefixes(5, 5) == []
+
+
+def test_range_to_prefixes_unaligned():
+    prefixes = range_to_prefixes(3, 17)
+    # Reconstruct and verify exact coverage.
+    covered = set()
+    for value, plen in prefixes:
+        size = 1 << (32 - plen)
+        assert value % size == 0  # prefix alignment
+        covered.update(range(value, value + size))
+    assert covered == set(range(3, 17))
+
+
+@given(
+    start=st.integers(0, 4096),
+    length=st.integers(0, 4096),
+)
+def test_range_to_prefixes_cover_property(start, length):
+    end = start + length
+    covered = []
+    for value, plen in range_to_prefixes(start, end):
+        size = 1 << (32 - plen)
+        assert value % size == 0
+        covered.append((value, value + size))
+    covered.sort()
+    # Prefixes tile the range exactly, in order, without overlap.
+    cursor = start
+    for lo, hi in covered:
+        assert lo == cursor
+        cursor = hi
+    assert cursor == end
+
+
+def test_grant_allows_only_its_region():
+    grant = StageGrant(fid=1, start=100, end=200)
+    assert grant.allows(100)
+    assert grant.allows(199)
+    assert not grant.allows(200)
+    assert not grant.allows(99)
+    assert grant.size == 100
+
+
+def test_grant_rejects_inverted_region():
+    with pytest.raises(ValueError):
+        StageGrant(fid=1, start=10, end=5)
+
+
+def test_table_install_and_authorize():
+    table = StageTable(tcam_capacity=64)
+    table.install_grant(StageGrant(fid=7, start=0, end=1024))
+    assert table.authorize(7, 0)
+    assert table.authorize(7, 1023)
+    assert not table.authorize(7, 1024)
+    assert not table.authorize(8, 0)  # other FIDs denied
+
+
+def test_table_replace_grant_frees_tcam():
+    table = StageTable(tcam_capacity=2)
+    table.install_grant(StageGrant(fid=1, start=0, end=1024))
+    assert table.tcam_used == 1
+    table.install_grant(StageGrant(fid=1, start=1024, end=2048))
+    assert table.tcam_used == 1
+    assert not table.authorize(1, 0)
+    assert table.authorize(1, 1024)
+
+
+def test_table_capacity_enforced():
+    table = StageTable(tcam_capacity=1)
+    table.install_grant(StageGrant(fid=1, start=0, end=1024))
+    with pytest.raises(TcamCapacityError):
+        # [1024, 1024+3*256) needs multiple prefixes.
+        table.install_grant(StageGrant(fid=2, start=1024, end=1024 + 768))
+    # Failed install must not leak TCAM accounting.
+    assert table.tcam_used == 1
+
+
+def test_remove_grant_frees_capacity():
+    table = StageTable(tcam_capacity=1)
+    table.install_grant(StageGrant(fid=1, start=0, end=1024))
+    removed = table.remove_grant(1)
+    assert removed is not None
+    assert table.tcam_used == 0
+    assert table.remove_grant(1) is None  # idempotent
+    table.install_grant(StageGrant(fid=2, start=0, end=1024))
+
+
+def test_fids_listing():
+    table = StageTable(tcam_capacity=16)
+    table.install_grant(StageGrant(fid=3, start=0, end=256))
+    table.install_grant(StageGrant(fid=1, start=256, end=512))
+    assert table.fids == [1, 3]
+
+
+@given(start=st.integers(0, 1 << 16), length=st.integers(1, 1 << 12))
+def test_grant_tcam_cost_positive(start, length):
+    grant = StageGrant(fid=1, start=start, end=start + length)
+    assert grant.tcam_cost() >= 1
+    # Worst case for a W-bit range is 2W-2 entries; our ranges are far
+    # smaller because allocations are block-aligned in practice.
+    assert grant.tcam_cost() <= 62

@@ -1,0 +1,126 @@
+"""Unit tests for workload generators and statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import ewma, percentile, summarize, windowed_rate
+from repro.workloads import (
+    ArrivalEvent,
+    DepartureEvent,
+    ZipfKeyGenerator,
+    mixed_arrivals,
+    poisson_events,
+    pure_arrivals,
+)
+
+
+def test_zipf_skew_orders_popularity():
+    gen = ZipfKeyGenerator(num_keys=1000, alpha=0.99, seed=1)
+    counts = {}
+    for key in gen.sample_keys(20000):
+        counts[key] = counts.get(key, 0) + 1
+    top = gen.key_for_rank(0)
+    mid = gen.key_for_rank(100)
+    assert counts.get(top, 0) > counts.get(mid, 0)
+    # The head of a Zipf(0.99) catches a large share of requests.
+    top100 = sum(counts.get(gen.key_for_rank(r), 0) for r in range(100))
+    assert top100 / 20000 > 0.4
+
+
+def test_zipf_deterministic_by_seed():
+    a = ZipfKeyGenerator(100, seed=7).sample_keys(50)
+    b = ZipfKeyGenerator(100, seed=7).sample_keys(50)
+    assert a == b
+    c = ZipfKeyGenerator(100, seed=8).sample_keys(50)
+    assert a != c
+
+
+def test_zipf_expected_hit_rate_monotone():
+    gen = ZipfKeyGenerator(1000, alpha=0.99)
+    rates = [gen.expected_hit_rate(n) for n in (0, 10, 100, 1000)]
+    assert rates[0] == 0.0
+    assert rates == sorted(rates)
+    assert rates[-1] == pytest.approx(1.0)
+
+
+def test_zipf_keys_are_8_bytes():
+    gen = ZipfKeyGenerator(10)
+    assert all(len(k) == 8 for k in gen.top_keys(10))
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfKeyGenerator(0)
+    with pytest.raises(ValueError):
+        ZipfKeyGenerator(10, alpha=-1)
+
+
+def test_pure_arrivals():
+    events = pure_arrivals("cache", count=5)
+    assert len(events) == 5
+    assert all(e.app_name == "cache" for e in events)
+    assert [e.fid for e in events] == [1, 2, 3, 4, 5]
+
+
+def test_mixed_arrivals_cover_all_apps():
+    events = mixed_arrivals(count=300, seed=3)
+    names = {e.app_name for e in events}
+    assert names == {"cache", "heavy-hitter", "load-balancer"}
+    # Deterministic under seed.
+    assert events == mixed_arrivals(count=300, seed=3)
+
+
+def test_poisson_events_population_grows():
+    events = list(poisson_events(epochs=200, seed=1))
+    arrivals = sum(1 for e in events if isinstance(e, ArrivalEvent))
+    departures = sum(1 for e in events if isinstance(e, DepartureEvent))
+    assert arrivals > departures  # arrival rate is twice departure rate
+    # Departures only reference previously arrived fids.
+    seen = set()
+    for event in events:
+        if isinstance(event, ArrivalEvent):
+            assert event.fid not in seen
+            seen.add(event.fid)
+        else:
+            assert event.fid in seen
+
+
+def test_ewma_smooths():
+    smoothed = ewma([0, 10, 0, 10], alpha=0.5)
+    assert smoothed[0] == 0
+    assert smoothed[1] == 5
+    assert smoothed[2] == 2.5
+    with pytest.raises(ValueError):
+        ewma([1], alpha=0)
+
+
+def test_percentile_interpolates():
+    values = [1, 2, 3, 4]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 100) == 4
+    assert percentile(values, 50) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_summarize():
+    summary = summarize([3, 1, 2])
+    assert summary.count == 3
+    assert summary.minimum == 1
+    assert summary.maximum == 3
+    assert summary.median == 2
+    assert summary.mean == pytest.approx(2.0)
+
+
+def test_windowed_rate():
+    events = [(0.1, True), (0.2, False), (1.1, True), (1.2, True)]
+    rates = windowed_rate(events, window=1.0)
+    assert rates[0][1] == pytest.approx(0.5)
+    assert rates[1][1] == pytest.approx(1.0)
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=40), st.floats(0.01, 1.0))
+def test_ewma_bounded_property(values, alpha):
+    smoothed = ewma(values, alpha)
+    assert len(smoothed) == len(values)
+    assert min(values) - 1e-6 <= smoothed[-1] <= max(values) + 1e-6

@@ -1,0 +1,164 @@
+"""Hot-path throughput: program cache on vs off (EXPERIMENTS.md).
+
+A repeated-mutant workload -- a handful of FIDs each replaying a small
+set of compiled mutants, the steady state of every paper experiment --
+is pushed through two identically provisioned switches: one with the
+per-program decode/trace cache enabled (the default) and one with it
+disabled (``program_cache_entries=0``).  The cached data path must:
+
+1. produce byte-identical results (dispositions, PHV values, emitted
+   packets, register state), and
+2. sustain at least 2x the packets/second of the uncached interpreter.
+
+Set ``ACTIVERMT_BENCH_SMOKE=1`` to run in smoke mode: the equality and
+hit-rate assertions still apply, but the timing gate is skipped (for
+CI machines with noisy clocks).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.isa import assemble
+from repro.packets import ActivePacket, MacAddress
+from repro.packets.codec import encode_packet
+from repro.switchsim import ActiveSwitch, StageGrant, SwitchConfig
+
+CLIENT = MacAddress.from_host_id(1)
+SERVER = MacAddress.from_host_id(2)
+
+SMOKE = os.environ.get("ACTIVERMT_BENCH_SMOKE", "") not in ("", "0")
+
+#: The mutant set each FID replays (program order is the cache key).
+MUTANTS = [
+    assemble(
+        """
+        MAR_LOAD $2
+        MEM_READ
+        MBR_EQUALS_DATA_1
+        CRET
+        MEM_READ
+        MBR_EQUALS_DATA_2
+        CRET
+        RTS
+        MEM_READ
+        MBR_STORE $0
+        RETURN
+        """,
+        name="cache-query",
+    ),
+    assemble(
+        """
+        MBR_LOAD $0
+        COPY_HASHDATA_MBR
+        HASH
+        ADDR_MASK
+        ADDR_OFFSET
+        MEM_INCREMENT
+        RETURN
+        """,
+        name="counter",
+    ),
+    assemble(
+        "\n".join(
+            ["MAR_LOAD $2"]
+            + ["MEM_READ", "NOP"] * 8
+            + ["RTS", "RETURN"]
+        ),
+        name="scan",
+    ),
+]
+
+FIDS = (1, 2, 3, 4)
+
+
+def _provisioned_switch(cache_entries):
+    switch = ActiveSwitch(SwitchConfig(program_cache_entries=cache_entries))
+    switch.register_host(CLIENT, 1)
+    switch.register_host(SERVER, 2)
+    for fid in FIDS:
+        for stage in range(1, switch.config.num_stages + 1):
+            switch.pipeline.stage(stage).table.install_grant(
+                StageGrant(fid=fid, start=0, end=1024, mask=0xFF, offset=0)
+            )
+    # Seed the buckets the cache-query mutant probes.
+    for stage in (2, 5, 9):
+        switch.pipeline.stage(stage).registers.write(17, 0xAAAA0001)
+    return switch
+
+
+def _workload(repeats):
+    """(packet, port) pairs: FIDs round-robin over their mutant set."""
+    items = []
+    for rep in range(repeats):
+        for fid in FIDS:
+            program = MUTANTS[rep % len(MUTANTS)]
+            items.append(
+                (
+                    ActivePacket.program(
+                        src=CLIENT,
+                        dst=SERVER,
+                        fid=fid,
+                        instructions=list(program),
+                        args=[0xAAAA0001, 0xBBBB0002, 17, 0],
+                    ),
+                    1,
+                )
+            )
+    return items
+
+
+def _run(switch, repeats):
+    packets = _workload(repeats)
+    start = time.perf_counter()
+    result = switch.receive_batch(packets)
+    elapsed = time.perf_counter() - start
+    return result, len(packets) / elapsed
+
+
+def test_hotpath_cached_vs_uncached_equality():
+    cached = _provisioned_switch(cache_entries=256)
+    uncached = _provisioned_switch(cache_entries=0)
+    cached_result = cached.receive_batch(_workload(repeats=30))
+    uncached_result = uncached.receive_batch(_workload(repeats=30))
+
+    assert cached_result.packets == uncached_result.packets
+    for field in ("forwarded", "returned", "dropped", "faulted"):
+        assert getattr(cached_result, field) == getattr(uncached_result, field)
+    assert len(cached_result.outputs) == len(uncached_result.outputs)
+    for a, b in zip(cached_result.outputs, uncached_result.outputs):
+        assert a.port == b.port
+        assert encode_packet(a.packet) == encode_packet(b.packet)
+        if a.result is not None:
+            assert a.result.phv == b.result.phv
+            assert a.result.disposition is b.result.disposition
+    for stage_a, stage_b in zip(cached.pipeline.stages, uncached.pipeline.stages):
+        assert stage_a.registers._cells == stage_b.registers._cells
+    assert cached.pipeline.program_cache.stats()["hit_rate"] >= 0.9
+
+
+def test_hotpath_throughput_speedup():
+    repeats = 40 if SMOKE else 250
+    cached = _provisioned_switch(cache_entries=256)
+    uncached = _provisioned_switch(cache_entries=0)
+
+    # Warm-up: populate the cache and JIT-warm both interpreters.
+    cached.receive_batch(_workload(repeats=3))
+    uncached.receive_batch(_workload(repeats=3))
+
+    _, uncached_pps = _run(uncached, repeats)
+    _, cached_pps = _run(cached, repeats)
+
+    stats = cached.pipeline.program_cache.stats()
+    assert stats["hit_rate"] > 0, "repeated mutants must hit the cache"
+    print(
+        f"\nhot path: cached {cached_pps:,.0f} pps / "
+        f"uncached {uncached_pps:,.0f} pps "
+        f"({cached_pps / uncached_pps:.2f}x, hit rate {stats['hit_rate']:.3f})"
+    )
+    if not SMOKE:
+        assert cached_pps >= 2.0 * uncached_pps, (
+            f"cached path only {cached_pps / uncached_pps:.2f}x faster "
+            f"({cached_pps:,.0f} vs {uncached_pps:,.0f} pps)"
+        )

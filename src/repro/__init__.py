@@ -1,0 +1,71 @@
+"""ActiveRMT reproduction: runtime-programmable switch memory management.
+
+The blessed public surface.  Everything an experiment or downstream
+user needs lives here; deeper imports (``repro.switchsim.stage`` etc.)
+are implementation detail and may move between releases.
+
+Data path::
+
+    from repro import ActiveSwitch, SwitchConfig
+
+    switch = ActiveSwitch(SwitchConfig())
+    result = switch.receive_batch(packets)      # hot path
+    print(switch.stats()["packets_per_second"])
+
+Control plane::
+
+    from repro import ActiveRmtController, ProvisioningRequest
+
+    controller = ActiveRmtController(switch)
+    report = controller.submit(ProvisioningRequest.admission(fid, pattern))
+
+Client side::
+
+    from repro import compile_mutant
+
+    synthesized = compile_mutant(program, report_response)
+"""
+
+from repro.client.compiler import (
+    ActiveCompiler,
+    CompilationError,
+    SynthesizedProgram,
+    compile_mutant,
+)
+from repro.controller.controller import (
+    ActiveRmtController,
+    ControllerError,
+    ProvisioningReport,
+    ProvisioningRequest,
+    RequestKind,
+)
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.perf import PerfCounters
+from repro.switchsim.progcache import (
+    ProgramCache,
+    infer_recirculations,
+    program_digest,
+)
+from repro.switchsim.switch import ActiveSwitch, BatchResult
+
+__all__ = [
+    # Data path
+    "ActiveSwitch",
+    "BatchResult",
+    "SwitchConfig",
+    "PerfCounters",
+    "ProgramCache",
+    "infer_recirculations",
+    "program_digest",
+    # Control plane
+    "ActiveRmtController",
+    "ControllerError",
+    "ProvisioningReport",
+    "ProvisioningRequest",
+    "RequestKind",
+    # Client
+    "ActiveCompiler",
+    "CompilationError",
+    "SynthesizedProgram",
+    "compile_mutant",
+]

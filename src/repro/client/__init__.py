@@ -16,6 +16,7 @@ from repro.client.compiler import (
     ActiveCompiler,
     CompilationError,
     SynthesizedProgram,
+    compile_mutant,
 )
 from repro.client.shim import ClientShim, ShimState, ShimError
 from repro.client.memsync import (
@@ -30,6 +31,7 @@ __all__ = [
     "ActiveCompiler",
     "CompilationError",
     "SynthesizedProgram",
+    "compile_mutant",
     "ClientShim",
     "ShimState",
     "ShimError",

@@ -186,3 +186,22 @@ class ActiveCompiler:
             synthesized,
             regions={stage: granted[stage] for stage in synthesized.regions},
         )
+
+
+def compile_mutant(
+    program: ActiveProgram,
+    response: AllocationResponseHeader,
+    config: Optional[SwitchConfig] = None,
+    demands: Optional[Sequence[Optional[int]]] = None,
+    name: Optional[str] = None,
+) -> SynthesizedProgram:
+    """One-shot front door: derive the pattern and synthesize the mutant.
+
+    Equivalent to ``ActiveCompiler(config).synthesize(program,
+    derive_pattern(program, ...), response)`` -- the common case when a
+    client already holds an allocation response and just wants the
+    linked program.
+    """
+    compiler = ActiveCompiler(config)
+    pattern = compiler.derive_pattern(program, demands=demands, name=name)
+    return compiler.synthesize(program, pattern, response)

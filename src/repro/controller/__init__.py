@@ -11,14 +11,20 @@ where table updates dominate the ~1 s provisioning time.
 from repro.controller.table_updater import TableUpdateEngine, TableUpdateCost
 from repro.controller.controller import (
     ActiveRmtController,
-    ProvisioningReport,
     ControllerError,
+    ProvisioningReport,
+    ProvisioningRequest,
+    RequestKind,
+    SnapshotCost,
 )
 
 __all__ = [
     "TableUpdateEngine",
     "TableUpdateCost",
     "ActiveRmtController",
-    "ProvisioningReport",
     "ControllerError",
+    "ProvisioningReport",
+    "ProvisioningRequest",
+    "RequestKind",
+    "SnapshotCost",
 ]

@@ -1,6 +1,9 @@
 """The ActiveRMT controller: admission, reallocation, and responses.
 
-Two usage styles:
+All control-plane work funnels through one entry point,
+:meth:`ActiveRmtController.submit`, which takes a
+:class:`ProvisioningRequest` and returns a :class:`ProvisioningReport`.
+Two historical usage styles remain as thin delegating wrappers:
 
 - **Synchronous control-plane API** (`admit`/`withdraw`): used by the
   allocation experiments (Figures 5-8a, 11, 12).  All data-plane and
@@ -9,12 +12,14 @@ Two usage styles:
 - **Packet-driven API** (`process_pending`/`handle_digest`): used by
   the end-to-end simulations (Figures 9-10).  Requests arrive as switch
   digests; the controller deactivates impacted FIDs, lets clients
-  snapshot, then applies tables and responds.
+  snapshot, then applies tables and responds.  Reply packets appear on
+  ``ProvisioningReport.replies``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 from typing import Callable, Dict, List, Optional
 
 from repro.core.allocator import (
@@ -49,17 +54,62 @@ class SnapshotCost:
     per_app_handshake_seconds: float = 5.0e-3
 
 
+class RequestKind(enum.Enum):
+    """What a :class:`ProvisioningRequest` asks the controller to do."""
+
+    ADMIT = "admit"
+    WITHDRAW = "withdraw"
+    DIGEST = "digest"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvisioningRequest:
+    """One unit of control-plane work for :meth:`ActiveRmtController.submit`.
+
+    Build instances through the constructors -- they enforce the fields
+    each kind requires:
+
+    - :meth:`admission` -- admit *fid* with an access *pattern*.
+    - :meth:`withdrawal` -- release *fid*'s allocation.
+    - :meth:`from_digest` -- handle a digested switch packet
+      (allocation request or control message).
+    """
+
+    kind: RequestKind
+    fid: Optional[int] = None
+    pattern: Optional[AccessPattern] = None
+    digest: Optional[ActivePacket] = None
+
+    @classmethod
+    def admission(cls, fid: int, pattern: AccessPattern) -> "ProvisioningRequest":
+        return cls(kind=RequestKind.ADMIT, fid=fid, pattern=pattern)
+
+    @classmethod
+    def withdrawal(cls, fid: int) -> "ProvisioningRequest":
+        return cls(kind=RequestKind.WITHDRAW, fid=fid)
+
+    @classmethod
+    def from_digest(cls, packet: ActivePacket) -> "ProvisioningRequest":
+        return cls(kind=RequestKind.DIGEST, fid=packet.fid, digest=packet)
+
+
 @dataclasses.dataclass
 class ProvisioningReport:
-    """Timing breakdown for one admission (Figure 8a's three bands)."""
+    """Outcome of one submitted request.
+
+    For admissions this is the timing breakdown of Figure 8a's three
+    bands; withdrawals report their table-update time; digest handling
+    additionally carries the reply packets injected toward clients.
+    """
 
     fid: int
     success: bool
-    decision: AllocationDecision
+    decision: Optional[AllocationDecision] = None
     reason: str = ""
     compute_seconds: float = 0.0
     table_update_seconds: float = 0.0
     snapshot_seconds: float = 0.0
+    replies: List[ActivePacket] = dataclasses.field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -105,7 +155,33 @@ class ActiveRmtController:
         return self._client_macs.get(fid)
 
     # ------------------------------------------------------------------
-    # Synchronous control-plane API
+    # Unified entry point
+    # ------------------------------------------------------------------
+
+    def submit(self, request: ProvisioningRequest) -> ProvisioningReport:
+        """Execute one control-plane request and report the outcome.
+
+        Every controller action -- admission, withdrawal, digest
+        handling -- funnels through here; `admit`, `withdraw`, and
+        `handle_digest` are thin wrappers that build the matching
+        :class:`ProvisioningRequest`.
+        """
+        if request.kind is RequestKind.ADMIT:
+            if request.fid is None or request.pattern is None:
+                raise ControllerError("admission requires fid and pattern")
+            return self._do_admit(request.fid, request.pattern)
+        if request.kind is RequestKind.WITHDRAW:
+            if request.fid is None:
+                raise ControllerError("withdrawal requires fid")
+            return self._do_withdraw(request.fid)
+        if request.kind is RequestKind.DIGEST:
+            if request.digest is None:
+                raise ControllerError("digest request requires a packet")
+            return self._do_digest(request.digest)
+        raise ControllerError(f"unknown request kind {request.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Synchronous control-plane API (wrappers over submit)
     # ------------------------------------------------------------------
 
     def admit(self, fid: int, pattern: AccessPattern) -> ProvisioningReport:
@@ -115,6 +191,14 @@ class ActiveRmtController:
         spend; the in-process state (allocator, tables, deactivations)
         is updated for real.
         """
+        return self.submit(ProvisioningRequest.admission(fid, pattern))
+
+    def withdraw(self, fid: int) -> float:
+        """Release an application's allocation; returns modeled seconds."""
+        report = self.submit(ProvisioningRequest.withdrawal(fid))
+        return report.table_update_seconds
+
+    def _do_admit(self, fid: int, pattern: AccessPattern) -> ProvisioningReport:
         decision = self.allocator.allocate(fid, pattern)
         if not decision.success:
             report = ProvisioningReport(
@@ -206,8 +290,13 @@ class ActiveRmtController:
             )
             self.updater.reactivate(other)
 
-    def withdraw(self, fid: int) -> float:
-        """Release an application's allocation; returns modeled seconds."""
+    def _do_withdraw(self, fid: int) -> ProvisioningReport:
+        seconds = self._withdraw_tables(fid)
+        return ProvisioningReport(
+            fid=fid, success=True, table_update_seconds=seconds
+        )
+
+    def _withdraw_tables(self, fid: int) -> float:
         reallocations = self.allocator.release(fid)
         seconds = self.updater.remove_app(fid)
         block_words = self.switch.config.block_words
@@ -239,11 +328,18 @@ class ActiveRmtController:
 
     def handle_digest(self, packet: ActivePacket) -> List[ActivePacket]:
         """Handle one digested packet (request or control)."""
+        return self.submit(ProvisioningRequest.from_digest(packet)).replies
+
+    def _do_digest(self, packet: ActivePacket) -> ProvisioningReport:
         if packet.ptype == PacketType.ALLOC_REQUEST:
-            return self._handle_request(packet)
-        if packet.ptype == PacketType.CONTROL:
-            return self._handle_control(packet)
-        raise ControllerError(f"unexpected digest type {packet.ptype:#x}")
+            replies = self._handle_request(packet)
+        elif packet.ptype == PacketType.CONTROL:
+            replies = self._handle_control(packet)
+        else:
+            raise ControllerError(f"unexpected digest type {packet.ptype:#x}")
+        return ProvisioningReport(
+            fid=packet.fid, success=True, replies=replies
+        )
 
     def _handle_request(self, packet: ActivePacket) -> List[ActivePacket]:
         if packet.request is None:

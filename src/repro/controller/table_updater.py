@@ -71,6 +71,10 @@ class TableUpdateEngine:
 
         Returns the modeled control-plane seconds spent.
         """
+        # New decode state makes any cached schedule for this FID
+        # stale; flush eagerly (the version stamps would also catch it,
+        # but eager flushes keep the cache from serving dead entries).
+        self.pipeline.invalidate_program_cache(fid)
         seconds = 0.0
         # Translations first, descending, so the entry for the nearest
         # upcoming access wins where windows overlap.
@@ -102,6 +106,7 @@ class TableUpdateEngine:
 
     def remove_app(self, fid: int) -> float:
         """Remove every grant and translation entry for *fid*."""
+        self.pipeline.invalidate_program_cache(fid)
         seconds = 0.0
         for stage in self.pipeline.stages:
             if stage.table.remove_grant(fid) is not None:

@@ -17,7 +17,11 @@ import dataclasses
 import math
 from typing import List, Optional
 
-from repro.isa.encoding import decode_instructions, encode_instructions
+from repro.isa.encoding import (
+    INSTRUCTION_WIDTH,
+    decode_instructions,
+    encode_instructions,
+)
 from repro.isa.instructions import Instruction
 from repro.packets.ethernet import EthernetHeader, MacAddress
 from repro.packets.headers import (
@@ -187,8 +191,37 @@ class ActivePacket:
         self.set_flag(ControlFlags.FROM_SWITCH)
 
     def wire_size(self) -> int:
-        """Size in bytes of the encoded packet."""
-        return len(encode_packet(self))
+        """Size in bytes of the encoded packet.
+
+        Computed arithmetically from the header layout -- the data path
+        charges byte counters on every rx/tx, and a full encode per
+        packet would dominate the hot path.  Kept exactly equal to
+        ``len(encode_packet(self))`` (pinned by the codec tests).
+        """
+        size = EthernetHeader.SIZE + InitialHeader.SIZE + len(self.payload)
+        ptype = self.initial.ptype
+        if ptype == PacketType.PROGRAM:
+            arg_headers = (
+                (len(self.args) + ArgumentHeader.FIELDS - 1)
+                // ArgumentHeader.FIELDS
+                if self.args
+                else 1
+            )
+            if arg_headers > _ARG_COUNT_MASK:
+                raise HeaderError("too many argument headers (max 3)")
+            size += arg_headers * ArgumentHeader.SIZE
+            # Instruction headers plus the EOF marker; wire_size models
+            # the unshrunk frame, matching encode_packet's default.
+            size += (len(self.instructions) + 1) * INSTRUCTION_WIDTH
+        elif ptype == PacketType.ALLOC_REQUEST:
+            if self.request is None:
+                raise HeaderError("ALLOC_REQUEST packet without request header")
+            size += AllocationRequestHeader.SIZE
+        elif ptype == PacketType.ALLOC_RESPONSE:
+            if self.response is None:
+                raise HeaderError("ALLOC_RESPONSE packet without response header")
+            size += AllocationResponseHeader.SIZE
+        return size
 
     def clone(self) -> "ActivePacket":
         """Deep-enough copy for FORK semantics."""

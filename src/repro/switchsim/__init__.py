@@ -30,7 +30,14 @@ from repro.switchsim.tables import (
     range_to_prefixes,
 )
 from repro.switchsim.pipeline import ExecutionResult, PacketDisposition, Pipeline
-from repro.switchsim.switch import ActiveSwitch, PortStats
+from repro.switchsim.progcache import (
+    CachedProgram,
+    ProgramCache,
+    infer_recirculations,
+    program_digest,
+)
+from repro.switchsim.perf import PerfCounters
+from repro.switchsim.switch import ActiveSwitch, BatchResult, PortStats, SwitchOutput
 from repro.switchsim.latency import LatencyModel
 from repro.switchsim.governor import RecirculationGovernor
 from repro.switchsim.extensions import (
@@ -58,7 +65,14 @@ __all__ = [
     "ExecutionResult",
     "PacketDisposition",
     "Pipeline",
+    "CachedProgram",
+    "ProgramCache",
+    "infer_recirculations",
+    "program_digest",
+    "PerfCounters",
     "ActiveSwitch",
+    "BatchResult",
     "PortStats",
+    "SwitchOutput",
     "LatencyModel",
 ]

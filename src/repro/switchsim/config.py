@@ -31,6 +31,10 @@ class SwitchConfig:
             protection ranges in each stage -- the paper's stated
             bottleneck for the number of distinct address ranges.
         num_ports: front-panel ports of the simulated switch.
+        program_cache_entries: capacity of the simulator's per-program
+            decode/trace cache (:mod:`repro.switchsim.progcache`); 0
+            disables caching and every packet is interpreted from
+            scratch (the pre-cache behavior, kept for benchmarking).
     """
 
     num_stages: int = 20
@@ -41,6 +45,7 @@ class SwitchConfig:
     max_recirculations: int = 8
     tcam_entries_per_stage: int = 2048
     num_ports: int = 64
+    program_cache_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.num_stages < 2:
@@ -57,6 +62,8 @@ class SwitchConfig:
             raise ValueError("stage memory must be a whole number of blocks")
         if self.max_recirculations < 0:
             raise ValueError("recirculation budget cannot be negative")
+        if self.program_cache_entries < 0:
+            raise ValueError("program cache capacity cannot be negative")
 
     @property
     def block_words(self) -> int:

@@ -1,0 +1,124 @@
+"""Data-path performance counters (hot-path observability).
+
+:class:`PerfCounters` accumulates what the switch's data path did --
+packets by disposition, digest deliveries, batch sizes -- plus a
+wall-clock window for deriving packets/sec.  The batched receive path
+rolls a whole batch into the counters with one call, which is part of
+the per-packet overhead amortization; the scalar path records packets
+one at a time.
+
+Counter snapshots surface through :meth:`ActiveSwitch.stats`, merged
+with the program cache's hit/miss statistics and the pipeline's
+drop/fault totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional
+
+
+@dataclasses.dataclass
+class PerfCounters:
+    """Monotonic data-path counters plus a throughput window.
+
+    Attributes:
+        packets: total packets the data path accepted (all types).
+        programs: active-program packets executed by the pipeline.
+        plain_forwarded: packets taking the baseline L2 path.
+        digested: packets delivered to the switch CPU as digests.
+        suppressed: program packets the recirculation governor demoted
+            to plain forwarding.
+        forwarded/returned/dropped/faulted: pipeline dispositions.
+        batches: calls to the batched receive path.
+        batched_packets: packets processed through those calls.
+    """
+
+    packets: int = 0
+    programs: int = 0
+    plain_forwarded: int = 0
+    digested: int = 0
+    suppressed: int = 0
+    forwarded: int = 0
+    returned: int = 0
+    dropped: int = 0
+    faulted: int = 0
+    batches: int = 0
+    batched_packets: int = 0
+    _window_start: Optional[float] = None
+    _window_end: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def touch(self, now: Optional[float] = None) -> None:
+        """Extend the throughput window to *now* (perf_counter time)."""
+        if now is None:
+            now = time.perf_counter()
+        if self._window_start is None:
+            self._window_start = now
+        self._window_end = now
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self._window_start is None or self._window_end is None:
+            return 0.0
+        return self._window_end - self._window_start
+
+    @property
+    def packets_per_second(self) -> float:
+        """Observed data-path throughput over the activity window.
+
+        Zero until at least two distinct timestamps have been recorded
+        (a single packet has no measurable rate).
+        """
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0.0:
+            return 0.0
+        return self.packets / elapsed
+
+    # ------------------------------------------------------------------
+
+    def merge_batch(
+        self,
+        packets: int,
+        programs: int = 0,
+        plain_forwarded: int = 0,
+        digested: int = 0,
+        suppressed: int = 0,
+        forwarded: int = 0,
+        returned: int = 0,
+        dropped: int = 0,
+        faulted: int = 0,
+    ) -> None:
+        """Roll one batch's tallies into the counters (single call)."""
+        self.packets += packets
+        self.programs += programs
+        self.plain_forwarded += plain_forwarded
+        self.digested += digested
+        self.suppressed += suppressed
+        self.forwarded += forwarded
+        self.returned += returned
+        self.dropped += dropped
+        self.faulted += faulted
+        self.batches += 1
+        self.batched_packets += packets
+        self.touch()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counter values as a plain dict (stable keys for stats())."""
+        return {
+            "packets": self.packets,
+            "programs": self.programs,
+            "plain_forwarded": self.plain_forwarded,
+            "digested": self.digested,
+            "suppressed": self.suppressed,
+            "forwarded": self.forwarded,
+            "returned": self.returned,
+            "dropped": self.dropped,
+            "faulted": self.faulted,
+            "batches": self.batches,
+            "batched_packets": self.batched_packets,
+            "packets_per_second": self.packets_per_second,
+            "elapsed_seconds": self.elapsed_seconds,
+        }

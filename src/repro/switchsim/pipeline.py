@@ -18,6 +18,7 @@ from repro.packets.headers import ControlFlags
 from repro.switchsim.config import SwitchConfig
 from repro.switchsim.hashing import stage_hash_unit
 from repro.switchsim.phv import Phv
+from repro.switchsim.progcache import CachedProgram, ProgramCache
 from repro.switchsim.registers import RegisterArray
 from repro.switchsim.stage import MatchActionStage
 from repro.switchsim.tables import StageTable
@@ -84,6 +85,12 @@ class Pipeline:
         self.drops = 0
         self.faults = 0
         self.total_recirculations = 0
+        #: Hot-path decode/trace cache; None when disabled via config.
+        self.program_cache: Optional[ProgramCache] = (
+            ProgramCache(self, self.config.program_cache_entries)
+            if self.config.program_cache_entries > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -100,6 +107,18 @@ class Pipeline:
 
     def is_active(self, fid: int) -> bool:
         return fid not in self.deactivated_fids
+
+    def invalidate_program_cache(self, fid: Optional[int] = None) -> int:
+        """Flush cached schedules for *fid* (or everything when None).
+
+        Called by the controller's table updater whenever a FID's match
+        tables are rewritten; returns the number of entries dropped.
+        """
+        if self.program_cache is None:
+            return 0
+        if fid is None:
+            return self.program_cache.invalidate_all()
+        return self.program_cache.invalidate_fid(fid)
 
     # ------------------------------------------------------------------
 
@@ -123,7 +142,11 @@ class Pipeline:
             phv.set_mar(packet.get_arg(2))
             phv.set_mbr(packet.get_arg(0))
             phv.set_mbr2(packet.get_arg(1))
-        result = self._run(packet, phv)
+        if self.program_cache is not None:
+            entry = self.program_cache.entry_for(packet)
+            result = self._run_cached(packet, phv, entry)
+        else:
+            result = self._run(packet, phv)
         self.total_recirculations += result.recirculations
         for clone in result.clones:
             self.total_recirculations += clone.recirculations
@@ -160,6 +183,63 @@ class Pipeline:
             phv.pc += 1
             phv.logical_stage += 1
             phv.passes = self.config.pass_of(phv.logical_stage) + phv.pass_offset
+        return self._finish(packet, phv, clones, executed)
+
+    def _run_cached(
+        self, packet: ActivePacket, phv: Phv, entry: CachedProgram
+    ) -> ExecutionResult:
+        """Run a packet through a memoized dispatch schedule.
+
+        Semantically identical to :meth:`_run` for first-entry packets
+        (``pc == 0``, no pass offset) -- the only kind the cache serves;
+        FORK clones resume mid-program and take the generic path.  The
+        schedule pre-resolves everything :meth:`_run` derives per
+        packet: physical stages, action handlers, pass counts, EXECUTED
+        header copies, and the match-table operands consulted by
+        translation and protection.
+        """
+        clones: List[ExecutionResult] = []
+        executed = 0
+        instructions = packet.instructions
+        steps = entry.steps
+        n = len(steps)
+        budget_pc = entry.budget_pc
+        maybe_end_skip = phv.maybe_end_skip
+        pc = 0
+        while pc < n and not phv.complete and not phv.drop:
+            if pc >= budget_pc:
+                max_passes = 1 + self.config.max_recirculations
+                phv.fault(
+                    f"recirculation budget exhausted after {max_passes} passes"
+                )
+                break
+            instr, instr_done, skip_label, stage, handler, passes_after = steps[pc]
+            was_disabled = phv.disabled
+            if not was_disabled or maybe_end_skip(skip_label):
+                handler(stage, instr, phv, packet)
+                if phv.faulted:
+                    break
+                instructions[pc] = instr_done
+                if not was_disabled or not phv.disabled:
+                    executed += 1
+                if phv.fork_requested:
+                    phv.fork_requested = False
+                    clones.append(self._fork(packet, phv))
+            else:
+                instructions[pc] = instr_done
+            pc += 1
+            phv.pc = pc
+            phv.logical_stage = pc + 1
+            phv.passes = passes_after
+        return self._finish(packet, phv, clones, executed)
+
+    def _finish(
+        self,
+        packet: ActivePacket,
+        phv: Phv,
+        clones: List[ExecutionResult],
+        executed: int,
+    ) -> ExecutionResult:
         disposition = self._disposition(phv)
         if disposition is PacketDisposition.DROP:
             self.drops += 1

@@ -1,0 +1,404 @@
+"""Per-program decode/trace cache: the simulator's hot-path engine.
+
+``Pipeline.execute`` interprets one instruction per stage, and every
+packet of the same mutant pays the full decode cost again: opcode ->
+handler dictionary lookups, logical->physical stage mapping, pass
+arithmetic, and per-stage match-table lookups for address translation
+and memory protection.  Real RMT hardware pays none of this per packet
+-- the match tables *are* the compiled program -- so neither should the
+simulator's hot path.
+
+:class:`ProgramCache` memoizes, per ``(fid, program_digest)``, the full
+dispatch schedule of a program: for every instruction header the
+pre-resolved physical stage, the bound action handler, and -- crucially
+-- the match-table state that decode would consult (the FID's
+protection grant and ADDR_MASK/ADDR_OFFSET translation operands).
+Because table state is baked into a cached entry, any control-plane
+table rewrite invalidates it; entries are stamped with the per-stage
+table versions they observed and re-validated on every hit, so stale
+execution is impossible even when tables are mutated behind the
+controller's back.  The controller's :class:`~repro.controller.
+table_updater.TableUpdateEngine` additionally flushes a FID's entries
+eagerly on every (re)install, keeping the cache tidy during
+reallocation churn.
+
+Entries are LRU-bounded; the capacity comes from
+``SwitchConfig.program_cache_entries`` (0 disables caching entirely,
+which is how the throughput benchmark measures the uncached baseline).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.packets.codec import ActivePacket
+from repro.switchsim.hashing import hash_engine
+from repro.switchsim.phv import Phv
+
+_MASK32 = 0xFFFFFFFF
+
+#: A cached digest key: one triple per instruction header.  The
+#: EXECUTED bit is deliberately excluded -- it never affects execution,
+#: only deparser shrinking.
+ProgramDigest = Tuple[Tuple[int, int, int], ...]
+
+#: Signature shared by stage handlers and specialized cached handlers.
+Handler = Callable[[object, Instruction, Phv, ActivePacket], None]
+
+
+def infer_recirculations(program_len: int, num_stages: int) -> int:
+    """Recirculations a straight-line program of *program_len* needs.
+
+    The switch can infer this from the program length alone (Section
+    7.2): a program consumes one stage per instruction, so it needs
+    ``ceil(program_len / num_stages)`` passes, the first of which is
+    free.  Shared by the recirculation governor's admission check and
+    the program cache's schedule builder.
+    """
+    if num_stages <= 0:
+        raise ValueError("num_stages must be positive")
+    if program_len <= 0:
+        return 0
+    return (program_len + num_stages - 1) // num_stages - 1
+
+
+def program_digest(instructions: List[Instruction]) -> ProgramDigest:
+    """Digest of the semantic content of an instruction stream."""
+    return tuple((i.opcode, i.operand, i.label) for i in instructions)
+
+
+class CachedProgram:
+    """The memoized dispatch schedule for one ``(fid, digest)`` pair.
+
+    Attributes:
+        steps: one tuple per instruction header::
+
+            (instr, instr_done, skip_label, stage, handler, passes_after)
+
+            where *instr* is the decoded template, *instr_done* the
+            pre-built EXECUTED copy (saves a dataclass replace per
+            packet), *skip_label* the label that ends branch skipping,
+            *stage* the pre-resolved physical stage object, *handler*
+            the bound action, and *passes_after* the pass count after
+            this header (pure function of position for first-entry
+            packets).
+        budget_pc: first instruction index at which the recirculation
+            budget is exhausted; reaching it faults the packet.
+        recirculations: inferred recirculation count for the full
+            program (shared with the governor's admission check).
+    """
+
+    __slots__ = ("fid", "digest", "steps", "budget_pc", "recirculations", "_stamps")
+
+    def __init__(
+        self,
+        fid: int,
+        digest: ProgramDigest,
+        steps: List[tuple],
+        budget_pc: int,
+        recirculations: int,
+        stamps: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        self.fid = fid
+        self.digest = digest
+        self.steps = steps
+        self.budget_pc = budget_pc
+        self.recirculations = recirculations
+        self._stamps = stamps
+
+    def is_current(self) -> bool:
+        """Do the observed table versions still hold?"""
+        for table, version in self._stamps:
+            if table.version != version:
+                return False
+        return True
+
+
+def _specialize(stage, instr: Instruction, fid: int) -> Optional[Handler]:
+    """Build a table-state-resolved handler for decode-time opcodes.
+
+    Returns None for opcodes whose generic handler is already free of
+    per-packet table lookups.  The closures below must reproduce the
+    generic handlers' semantics *exactly* (including fault messages):
+    the equality tests in ``tests/test_switchsim_progcache.py`` and the
+    throughput benchmark pin cached-vs-uncached byte identity.
+    """
+    op = instr.opcode
+    if op in (Opcode.ADDR_MASK, Opcode.ADDR_OFFSET):
+        pair = stage.table.translation_for(fid)
+        if pair is None:
+            grant = stage.table.grant_for(fid)
+            if grant is not None:
+                pair = (grant.mask, grant.offset)
+        if pair is None:
+            opname = op.name
+            index = stage.index
+
+            def missing(stage, instr, phv, packet, _i=index, _n=opname):
+                phv.fault(f"stage {_i}: {_n} without translation")
+
+            return missing
+        if op is Opcode.ADDR_MASK:
+            mask = pair[0]
+
+            def addr_mask(stage, instr, phv, packet, _m=mask):
+                phv.mar = phv.mar & _m
+
+            return addr_mask
+        offset = pair[1]
+
+        def addr_offset(stage, instr, phv, packet, _o=offset):
+            phv.mar = (phv.mar + _o) & _MASK32
+
+        return addr_offset
+
+    if op is Opcode.HASH:
+        engine = hash_engine(instr.operand)
+
+        def do_hash(stage, instr, phv, packet, _e=engine):
+            phv.mar = _e.digest(phv.hashdata) & _MASK32
+
+        return do_hash
+
+    if op in _MEMORY_OPS:
+        grant = stage.table.grant_for(fid)
+        registers = stage.registers
+        index = stage.index
+        if grant is None:
+            lo, hi = 1, 0  # empty range: every access is denied
+        else:
+            lo, hi = grant.start, grant.end
+        return _MEMORY_OPS[op](lo, hi, registers, index, fid)
+
+    return None
+
+
+def _mem_read(lo, hi, registers, stage_index, fid):
+    def handler(stage, instr, phv, packet):
+        mar = phv.mar
+        if lo <= mar < hi:
+            phv.mbr = registers.read(mar)
+        else:
+            phv.fault(
+                f"stage {stage_index}: fid {fid} denied access to index {mar}"
+            )
+
+    return handler
+
+
+def _mem_write(lo, hi, registers, stage_index, fid):
+    def handler(stage, instr, phv, packet):
+        mar = phv.mar
+        if lo <= mar < hi:
+            registers.write(mar, phv.mbr)
+        else:
+            phv.fault(
+                f"stage {stage_index}: fid {fid} denied access to index {mar}"
+            )
+
+    return handler
+
+
+def _mem_increment(lo, hi, registers, stage_index, fid):
+    def handler(stage, instr, phv, packet):
+        mar = phv.mar
+        if lo <= mar < hi:
+            phv.mbr = registers.increment(mar, phv.inc)
+        else:
+            phv.fault(
+                f"stage {stage_index}: fid {fid} denied access to index {mar}"
+            )
+
+    return handler
+
+
+def _mem_minread(lo, hi, registers, stage_index, fid):
+    def handler(stage, instr, phv, packet):
+        mar = phv.mar
+        if lo <= mar < hi:
+            phv.mbr = registers.min_read(mar, phv.mbr)
+        else:
+            phv.fault(
+                f"stage {stage_index}: fid {fid} denied access to index {mar}"
+            )
+
+    return handler
+
+
+def _mem_minreadinc(lo, hi, registers, stage_index, fid):
+    def handler(stage, instr, phv, packet):
+        mar = phv.mar
+        if lo <= mar < hi:
+            count, running_min = registers.min_read_increment(
+                mar, phv.mbr2, phv.inc
+            )
+            phv.mbr = count
+            phv.mbr2 = running_min
+        else:
+            phv.fault(
+                f"stage {stage_index}: fid {fid} denied access to index {mar}"
+            )
+
+    return handler
+
+
+_MEMORY_OPS = {
+    Opcode.MEM_READ: _mem_read,
+    Opcode.MEM_WRITE: _mem_write,
+    Opcode.MEM_INCREMENT: _mem_increment,
+    Opcode.MEM_MINREAD: _mem_minread,
+    Opcode.MEM_MINREADINC: _mem_minreadinc,
+}
+
+
+class ProgramCache:
+    """LRU cache of :class:`CachedProgram` schedules for one pipeline.
+
+    Args:
+        pipeline: the owning :class:`~repro.switchsim.pipeline.Pipeline`
+            (stages are resolved against it at build time).
+        capacity: maximum resident entries; the least recently used
+            entry is evicted beyond it.
+    """
+
+    def __init__(self, pipeline, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.pipeline = pipeline
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, ProgramDigest], CachedProgram]" = (
+            OrderedDict()
+        )
+        self._keys_by_fid: Dict[int, Set[Tuple[int, ProgramDigest]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Data-plane lookup
+    # ------------------------------------------------------------------
+
+    def entry_for(self, packet: ActivePacket) -> CachedProgram:
+        """Return the schedule for *packet*, building it on a miss.
+
+        A hit whose table-version stamps are stale counts as an
+        invalidation followed by a miss (the entry is rebuilt against
+        current table state).
+        """
+        fid = packet.fid
+        key = (fid, program_digest(packet.instructions))
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.is_current():
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self._discard(key)
+            self.invalidations += 1
+        self.misses += 1
+        entry = self._build(fid, key[1], packet.instructions)
+        self._entries[key] = entry
+        self._keys_by_fid.setdefault(fid, set()).add(key)
+        if len(self._entries) > self.capacity:
+            old_key, _old = self._entries.popitem(last=False)
+            self._keys_by_fid.get(old_key[0], set()).discard(old_key)
+            self.evictions += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Invalidation (wired into the controller's table updater)
+    # ------------------------------------------------------------------
+
+    def invalidate_fid(self, fid: int) -> int:
+        """Flush every entry cached for *fid*; returns entries dropped."""
+        keys = self._keys_by_fid.pop(fid, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        self.invalidations += len(keys)
+        return len(keys)
+
+    def invalidate_all(self) -> int:
+        """Flush the whole cache (e.g. on a config-level change)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._keys_by_fid.clear()
+        self.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _discard(self, key: Tuple[int, ProgramDigest]) -> None:
+        self._entries.pop(key, None)
+        self._keys_by_fid.get(key[0], set()).discard(key)
+
+    def _build(
+        self,
+        fid: int,
+        digest: ProgramDigest,
+        instructions: List[Instruction],
+    ) -> CachedProgram:
+        # Imported here: stage.py owns the generic handler table and
+        # must stay importable without pipeline machinery.
+        from repro.switchsim.stage import _HANDLERS
+
+        pipeline = self.pipeline
+        config = pipeline.config
+        steps: List[tuple] = []
+        stamped: Dict[int, object] = {}
+        for pc, instr in enumerate(instructions):
+            physical = config.physical_stage(pc + 1)
+            stage = pipeline.stage(physical)
+            stamped[physical] = stage.table
+            handler = _specialize(stage, instr, fid)
+            if handler is None:
+                handler = _HANDLERS.get(instr.opcode)
+            if handler is None:
+                opname = instr.opcode.name
+                index = stage.index
+
+                def no_decode(stage, instr, phv, packet, _i=index, _n=opname):
+                    phv.fault(f"stage {_i}: no decode entry for {_n}")
+
+                handler = no_decode
+            instr_done = instr if instr.executed else instr.with_executed()
+            skip_label = instr.label if not instr.is_branch else 0
+            steps.append(
+                (instr, instr_done, skip_label, stage, handler, config.pass_of(pc + 2))
+            )
+        budget_pc = (1 + config.max_recirculations) * config.num_stages
+        stamps = tuple(
+            (table, table.version) for table in stamped.values()
+        )
+        return CachedProgram(
+            fid=fid,
+            digest=digest,
+            steps=steps,
+            budget_pc=budget_pc,
+            recirculations=infer_recirculations(
+                len(instructions), config.num_stages
+            ),
+            stamps=stamps,
+        )

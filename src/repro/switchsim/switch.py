@@ -5,20 +5,39 @@ function (the runtime "provides only baseline forwarding functionality",
 Section 7.1) and exposes the digest channel through which allocation
 requests and control packets reach the controller on the switch CPU
 (Section 4.3).
+
+Two data-path entry points exist: :meth:`ActiveSwitch.receive` handles
+one packet, and :meth:`ActiveSwitch.receive_batch` drains a whole
+arrival batch while amortizing the per-packet Python overhead -- port
+statistics are rolled up once per batch, digests are delivered to the
+CPU queue in one append, and perf counters advance with a single merge.
+Both paths share the same classification/execution core, so their
+outputs are identical packet for packet.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
 from repro.packets.headers import PacketType
 from repro.switchsim.config import SwitchConfig
 from repro.switchsim.latency import LatencyModel
+from repro.switchsim.perf import PerfCounters
 from repro.switchsim.pipeline import ExecutionResult, PacketDisposition, Pipeline
+from repro.switchsim.progcache import infer_recirculations
 
 
 @dataclasses.dataclass
@@ -48,28 +67,80 @@ class SwitchOutput:
     result: Optional[ExecutionResult] = None
 
 
+@dataclasses.dataclass
+class BatchResult:
+    """Outcome of one :meth:`ActiveSwitch.receive_batch` call.
+
+    Attributes:
+        outputs: every emitted packet, in arrival order (a packet's
+            clones follow it immediately, as in the scalar path).
+        packets: packets accepted from the batch.
+        programs: packets executed by the pipeline.
+        plain_forwarded: packets taking the baseline L2 path.
+        digested: packets queued for the switch CPU.
+        suppressed: program packets demoted to plain forwarding by the
+            recirculation governor.
+        forwarded/returned/dropped/faulted: pipeline dispositions of
+            the executed packets (clones excluded).
+    """
+
+    outputs: List[SwitchOutput]
+    packets: int = 0
+    programs: int = 0
+    plain_forwarded: int = 0
+    digested: int = 0
+    suppressed: int = 0
+    forwarded: int = 0
+    returned: int = 0
+    dropped: int = 0
+    faulted: int = 0
+
+    def __iter__(self):
+        return iter(self.outputs)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+
+#: Internal packet classifications returned by ``_process``.
+_KIND_DIGEST = 0
+_KIND_PLAIN = 1
+_KIND_PROGRAM = 2
+_KIND_SUPPRESSED = 3
+
+
 class ActiveSwitch:
-    """A switch running the shared ActiveRMT runtime."""
+    """A switch running the shared ActiveRMT runtime.
+
+    Args:
+        config: modeled device parameters.
+        latency: forwarding-latency model.
+        governor: optional recirculation-bandwidth governor (Section
+            7.2).  When set, programs whose *inferred* recirculation
+            cost (from the program length, as the paper notes the
+            switch can do) exceeds the FID's token allowance are
+            forwarded unprocessed.
+        clock: clock used by the governor (usually the simulation
+            harness's event-loop time).
+    """
 
     def __init__(
         self,
         config: Optional[SwitchConfig] = None,
         latency: Optional[LatencyModel] = None,
+        governor=None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config or SwitchConfig()
         self.pipeline = Pipeline(self.config)
         self.latency = latency or LatencyModel()
+        self.governor = governor
+        self.clock = clock
         self._mac_table: Dict[MacAddress, int] = {}
         self._digests: Deque[ActivePacket] = deque()
         self.port_stats: Dict[int, PortStats] = {}
         self.digest_count = 0
-        #: Optional recirculation-bandwidth governor (Section 7.2).
-        #: When set, programs whose *inferred* recirculation cost (from
-        #: the program length, as the paper notes the switch can do)
-        #: exceeds the FID's token allowance are forwarded unprocessed.
-        self.governor = None
-        #: Clock used by the governor (set by the simulation harness).
-        self.clock: Optional[Callable[[], float]] = None
+        self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
     # Topology management
@@ -96,30 +167,157 @@ class ActiveSwitch:
         """
         packet.arrival_port = in_port
         self._count_rx(in_port, packet)
-        ptype = packet.ptype
-        if ptype in (PacketType.ALLOC_REQUEST, PacketType.CONTROL):
-            # Delivered to the switch CPU via message digests.
+        kind, result, outputs = self._process(packet, in_port)
+        perf = self.perf
+        perf.packets += 1
+        if kind == _KIND_PROGRAM:
+            perf.programs += 1
+            _DISPOSITION_COUNTERS[result.disposition](perf)
+        elif kind == _KIND_DIGEST:
             self._digests.append(packet)
             self.digest_count += 1
-            return []
+            perf.digested += 1
+        elif kind == _KIND_SUPPRESSED:
+            perf.suppressed += 1
+        else:
+            perf.plain_forwarded += 1
+        for output in outputs:
+            self._count_tx(output.port, output.packet)
+        perf.touch()
+        return outputs
+
+    def receive_batch(
+        self,
+        packets: Iterable[Union[ActivePacket, Tuple[ActivePacket, int]]],
+        in_port: Optional[int] = None,
+    ) -> BatchResult:
+        """Process an arrival batch, amortizing per-packet overhead.
+
+        Args:
+            packets: ``(packet, in_port)`` pairs, or bare packets when a
+                uniform *in_port* is given.
+            in_port: arrival port applied to every packet (only when
+                *packets* holds bare packets).
+
+        Per-port statistics, digest delivery to the CPU queue, and perf
+        counters are each applied once for the whole batch; execution
+        itself is identical to calling :meth:`receive` per packet, and
+        outputs preserve arrival order.
+        """
+        if in_port is not None:
+            items: Iterable[Tuple[ActivePacket, int]] = (
+                (packet, in_port) for packet in packets
+            )
+        else:
+            items = packets  # type: ignore[assignment]
+        # Open the throughput window before the work: merge_batch's
+        # closing touch() then spans the batch's processing time (a
+        # single-touch window would have zero width and report 0 pps).
+        self.perf.touch()
+        outputs_all: List[SwitchOutput] = []
+        digests: List[ActivePacket] = []
+        rx: Dict[int, List[int]] = {}
+        counts = [0, 0, 0, 0]  # indexed by _KIND_*
+        dispositions = {
+            PacketDisposition.FORWARD: 0,
+            PacketDisposition.RETURN_TO_SENDER: 0,
+            PacketDisposition.DROP: 0,
+            PacketDisposition.FAULT: 0,
+        }
+        total = 0
+        process = self._process
+        extend = outputs_all.extend
+        for packet, port in items:
+            total += 1
+            packet.arrival_port = port
+            acc = rx.get(port)
+            if acc is None:
+                acc = rx[port] = [0, 0]
+            acc[0] += 1
+            acc[1] += packet.wire_size()
+            kind, result, outputs = process(packet, port)
+            counts[kind] += 1
+            if kind == _KIND_PROGRAM:
+                dispositions[result.disposition] += 1
+            elif kind == _KIND_DIGEST:
+                digests.append(packet)
+            if outputs:
+                extend(outputs)
+        # -- single roll-up of everything the scalar path does per packet
+        if digests:
+            self._digests.extend(digests)
+            self.digest_count += len(digests)
+        for port, (count, nbytes) in rx.items():
+            stats = self.port_stats.get(port)
+            if stats is None:
+                stats = self.port_stats[port] = PortStats()
+            stats.rx_packets += count
+            stats.rx_bytes += nbytes
+        tx: Dict[int, List[int]] = {}
+        for output in outputs_all:
+            acc = tx.get(output.port)
+            if acc is None:
+                acc = tx[output.port] = [0, 0]
+            acc[0] += 1
+            acc[1] += output.packet.wire_size()
+        for port, (count, nbytes) in tx.items():
+            stats = self.port_stats.get(port)
+            if stats is None:
+                stats = self.port_stats[port] = PortStats()
+            stats.tx_packets += count
+            stats.tx_bytes += nbytes
+        self.perf.merge_batch(
+            packets=total,
+            programs=counts[_KIND_PROGRAM],
+            plain_forwarded=counts[_KIND_PLAIN],
+            digested=counts[_KIND_DIGEST],
+            suppressed=counts[_KIND_SUPPRESSED],
+            forwarded=dispositions[PacketDisposition.FORWARD],
+            returned=dispositions[PacketDisposition.RETURN_TO_SENDER],
+            dropped=dispositions[PacketDisposition.DROP],
+            faulted=dispositions[PacketDisposition.FAULT],
+        )
+        return BatchResult(
+            outputs=outputs_all,
+            packets=total,
+            programs=counts[_KIND_PROGRAM],
+            plain_forwarded=counts[_KIND_PLAIN],
+            digested=counts[_KIND_DIGEST],
+            suppressed=counts[_KIND_SUPPRESSED],
+            forwarded=dispositions[PacketDisposition.FORWARD],
+            returned=dispositions[PacketDisposition.RETURN_TO_SENDER],
+            dropped=dispositions[PacketDisposition.DROP],
+            faulted=dispositions[PacketDisposition.FAULT],
+        )
+
+    def _process(
+        self, packet: ActivePacket, in_port: int
+    ) -> Tuple[int, Optional[ExecutionResult], List[SwitchOutput]]:
+        """Classify and execute one packet; no statistics accounting.
+
+        Digest-bound packets are *not* enqueued here -- the caller owns
+        delivery so the batched path can defer it to one append.
+        """
+        ptype = packet.ptype
         if ptype == PacketType.PROGRAM and packet.instructions:
-            return self._process_program(packet, in_port)
+            if self.governor is not None:
+                inferred = infer_recirculations(
+                    len(packet.instructions), self.config.num_stages
+                )
+                now = self.clock() if self.clock is not None else 0.0
+                if not self.governor.admit(packet.fid, inferred, now):
+                    return _KIND_SUPPRESSED, None, self._forward_plain(packet)
+            result = self.pipeline.execute(packet)
+            outputs = self._emit(result, in_port)
+            for clone in result.clones:
+                outputs.extend(self._emit(clone, in_port))
+            return _KIND_PROGRAM, result, outputs
+        if ptype == PacketType.ALLOC_REQUEST or ptype == PacketType.CONTROL:
+            # Delivered to the switch CPU via message digests.
+            return _KIND_DIGEST, None, []
         # Non-executing active packets (e.g. responses in flight) and
         # bare packets take the baseline forwarding path.
-        return self._forward_plain(packet)
-
-    def _process_program(self, packet: ActivePacket, in_port: int) -> List[SwitchOutput]:
-        if self.governor is not None:
-            inferred = -(-len(packet.instructions) // self.config.num_stages) - 1
-            now = self.clock() if self.clock is not None else 0.0
-            if not self.governor.admit(packet.fid, inferred, now):
-                return self._forward_plain(packet)
-        result = self.pipeline.execute(packet)
-        outputs: List[SwitchOutput] = []
-        outputs.extend(self._emit(result, in_port))
-        for clone in result.clones:
-            outputs.extend(self._emit(clone, in_port))
-        return outputs
+        return _KIND_PLAIN, None, self._forward_plain(packet)
 
     def _emit(self, result: ExecutionResult, in_port: int) -> List[SwitchOutput]:
         latency_us = self.latency.switch_latency_us(result, self.config)
@@ -135,7 +333,6 @@ class ActiveSwitch:
             if resolved is None:
                 return []  # unknown unicast: paper runtime has no flood
             out_port = resolved
-        self._count_tx(out_port, packet)
         return [
             SwitchOutput(
                 port=out_port, packet=packet, latency_us=latency_us, result=result
@@ -146,7 +343,6 @@ class ActiveSwitch:
         out_port = self._mac_table.get(packet.eth.dst)
         if out_port is None:
             return []
-        self._count_tx(out_port, packet)
         return [
             SwitchOutput(
                 port=out_port,
@@ -158,22 +354,60 @@ class ActiveSwitch:
 
     def inject(self, packet: ActivePacket) -> List[SwitchOutput]:
         """Send a controller-originated packet (e.g. allocation response)."""
-        return self._forward_plain(packet)
+        outputs = self._forward_plain(packet)
+        for output in outputs:
+            self._count_tx(output.port, output.packet)
+        return outputs
 
     # ------------------------------------------------------------------
     # Control-plane interface (used by repro.controller)
     # ------------------------------------------------------------------
 
-    def poll_digests(self, limit: int = 0) -> List[ActivePacket]:
-        """Drain queued digests (allocation requests, control packets)."""
-        drained: List[ActivePacket] = []
-        while self._digests and (not limit or len(drained) < limit):
-            drained.append(self._digests.popleft())
-        return drained
+    def poll_digests(self, limit: Optional[int] = None) -> List[ActivePacket]:
+        """Drain queued digests (allocation requests, control packets).
+
+        Args:
+            limit: maximum digests to drain; None drains everything.
+                ``limit=0`` drains nothing (it is a real bound, not a
+                sentinel).
+        """
+        digests = self._digests
+        if limit is None or limit >= len(digests):
+            drained = list(digests)
+            digests.clear()
+            return drained
+        return [digests.popleft() for _ in range(limit)]
 
     @property
     def digests_pending(self) -> int:
         return len(self._digests)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """One consolidated snapshot of the data path's health.
+
+        Merges the perf counters (throughput, dispositions, batching),
+        the program cache's hit/miss statistics, pipeline drop/fault
+        totals, and the governor's suppression count.
+        """
+        data: Dict[str, object] = self.perf.snapshot()
+        data["digests_pending"] = len(self._digests)
+        data["digests_delivered"] = self.digest_count
+        pipeline = self.pipeline
+        data["pipeline"] = {
+            "drops": pipeline.drops,
+            "faults": pipeline.faults,
+            "total_recirculations": pipeline.total_recirculations,
+        }
+        cache = pipeline.program_cache
+        data["program_cache"] = cache.stats() if cache is not None else None
+        data["governor_suppressed"] = (
+            self.governor.suppressed if self.governor is not None else 0
+        )
+        return data
 
     # ------------------------------------------------------------------
 
@@ -186,3 +420,27 @@ class ActiveSwitch:
         stats = self.port_stats.setdefault(port, PortStats())
         stats.tx_packets += 1
         stats.tx_bytes += packet.wire_size()
+
+
+def _count_forward(perf: PerfCounters) -> None:
+    perf.forwarded += 1
+
+
+def _count_returned(perf: PerfCounters) -> None:
+    perf.returned += 1
+
+
+def _count_dropped(perf: PerfCounters) -> None:
+    perf.dropped += 1
+
+
+def _count_faulted(perf: PerfCounters) -> None:
+    perf.faulted += 1
+
+
+_DISPOSITION_COUNTERS = {
+    PacketDisposition.FORWARD: _count_forward,
+    PacketDisposition.RETURN_TO_SENDER: _count_returned,
+    PacketDisposition.DROP: _count_dropped,
+    PacketDisposition.FAULT: _count_faulted,
+}

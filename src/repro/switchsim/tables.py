@@ -94,6 +94,12 @@ class StageTable:
         self._grants: Dict[int, StageGrant] = {}
         self._translations: Dict[int, Tuple[int, int]] = {}
         self._tcam_used = 0
+        #: Monotonic mutation counter.  Cached program schedules stamp
+        #: the versions of every table they resolved against and are
+        #: dropped when any stamp goes stale, so decode state baked into
+        #: a :class:`~repro.switchsim.progcache.CachedProgram` can never
+        #: outlive the entries it was derived from.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Control-plane operations (each costs one table update in the
@@ -116,12 +122,14 @@ class StageTable:
             )
         self._tcam_used += needed - freed
         self._grants[grant.fid] = grant
+        self.version += 1
 
     def remove_grant(self, fid: int) -> Optional[StageGrant]:
         """Remove a FID's grant, freeing its TCAM entries."""
         grant = self._grants.pop(fid, None)
         if grant is not None:
             self._tcam_used -= grant.tcam_cost()
+            self.version += 1
         return grant
 
     def install_translation(self, fid: int, mask: int, offset: int) -> None:
@@ -132,9 +140,13 @@ class StageTable:
         lands but never widen what :meth:`authorize` permits.
         """
         self._translations[fid] = (mask & 0xFFFFFFFF, offset & 0xFFFFFFFF)
+        self.version += 1
 
     def remove_translation(self, fid: int) -> bool:
-        return self._translations.pop(fid, None) is not None
+        removed = self._translations.pop(fid, None) is not None
+        if removed:
+            self.version += 1
+        return removed
 
     def translation_for(self, fid: int) -> Optional[Tuple[int, int]]:
         """The (mask, offset) pair installed for *fid* in this stage."""

@@ -24,6 +24,15 @@ Client side::
     from repro import compile_mutant
 
     synthesized = compile_mutant(program, report_response)
+
+Telemetry (off by default, zero-cost when off)::
+
+    from repro import MetricsRegistry, prometheus_text, telemetry
+
+    registry = MetricsRegistry()
+    telemetry.set_registry(registry)    # components built after this record
+    ...
+    print(prometheus_text(registry))
 """
 
 from repro.client.compiler import (
@@ -47,6 +56,14 @@ from repro.switchsim.progcache import (
     program_digest,
 )
 from repro.switchsim.switch import ActiveSwitch, BatchResult
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    PipelineTracer,
+    TraceBuffer,
+    json_snapshot,
+    prometheus_text,
+)
 
 __all__ = [
     # Data path
@@ -68,4 +85,11 @@ __all__ = [
     "CompilationError",
     "SynthesizedProgram",
     "compile_mutant",
+    # Telemetry
+    "MetricsRegistry",
+    "NullRegistry",
+    "PipelineTracer",
+    "TraceBuffer",
+    "json_snapshot",
+    "prometheus_text",
 ]

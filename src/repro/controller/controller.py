@@ -35,6 +35,7 @@ from repro.packets.ethernet import MacAddress
 from repro.packets.headers import ControlFlags, PacketType
 from repro.switchsim.switch import ActiveSwitch
 from repro.switchsim.tables import TcamCapacityError
+from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
 
 
 class ControllerError(Exception):
@@ -134,12 +135,16 @@ class ActiveRmtController:
         policy: AllocationPolicy = MOST_CONSTRAINED,
         table_cost: Optional[TableUpdateCost] = None,
         snapshot_cost: Optional[SnapshotCost] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.switch = switch
+        self.telemetry = resolve(telemetry)
         self.allocator = ActiveRmtAllocator(
-            switch.config, scheme=scheme, policy=policy
+            switch.config, scheme=scheme, policy=policy, telemetry=self.telemetry
         )
-        self.updater = TableUpdateEngine(switch.pipeline, table_cost)
+        self.updater = TableUpdateEngine(
+            switch.pipeline, table_cost, telemetry=self.telemetry
+        )
         self.snapshot_cost = snapshot_cost or SnapshotCost()
         self.mac = MacAddress.from_host_id(0xC0FFEE)
         self.reports: List[ProvisioningReport] = []
@@ -209,6 +214,7 @@ class ActiveRmtController:
                 compute_seconds=decision.total_seconds,
             )
             self.reports.append(report)
+            self._record_admission(report, "no_feasible_mutant")
             return report
 
         try:
@@ -228,6 +234,7 @@ class ActiveRmtController:
                 compute_seconds=decision.total_seconds,
             )
             self.reports.append(report)
+            self._record_admission(report, "tcam_exhausted")
             return report
 
         report = ProvisioningReport(
@@ -239,7 +246,29 @@ class ActiveRmtController:
             snapshot_seconds=snapshot_seconds,
         )
         self.reports.append(report)
+        self._record_admission(report, "admitted")
         return report
+
+    def _record_admission(self, report: ProvisioningReport, outcome: str) -> None:
+        """Publish one admission outcome and its modeled cost breakdown."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        tel.counter(
+            "controller_admissions_total",
+            help="Admission requests by outcome",
+            outcome=outcome,
+        ).inc()
+        tel.histogram(
+            "controller_provisioning_seconds",
+            buckets=LATENCY_BUCKETS_S,
+            help="Modeled end-to-end provisioning time (Fig. 8a bands)",
+        ).observe(report.total_seconds)
+        tel.histogram(
+            "controller_table_update_seconds",
+            buckets=LATENCY_BUCKETS_S,
+            help="Modeled match-table update time per request",
+        ).observe(report.table_update_seconds)
 
     def _apply_admission(self, fid, decision):
         table_seconds = 0.0
@@ -292,6 +321,17 @@ class ActiveRmtController:
 
     def _do_withdraw(self, fid: int) -> ProvisioningReport:
         seconds = self._withdraw_tables(fid)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "controller_withdrawals_total",
+                help="Applications withdrawn from the switch",
+            ).inc()
+            tel.histogram(
+                "controller_table_update_seconds",
+                buckets=LATENCY_BUCKETS_S,
+                help="Modeled match-table update time per request",
+            ).observe(seconds)
         return ProvisioningReport(
             fid=fid, success=True, table_update_seconds=seconds
         )
@@ -332,11 +372,19 @@ class ActiveRmtController:
 
     def _do_digest(self, packet: ActivePacket) -> ProvisioningReport:
         if packet.ptype == PacketType.ALLOC_REQUEST:
+            kind = "alloc_request"
             replies = self._handle_request(packet)
         elif packet.ptype == PacketType.CONTROL:
+            kind = "control"
             replies = self._handle_control(packet)
         else:
             raise ControllerError(f"unexpected digest type {packet.ptype:#x}")
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "controller_digests_total",
+                help="Switch digests handled, by packet kind",
+                kind=kind,
+            ).inc()
         return ProvisioningReport(
             fid=packet.fid, success=True, replies=replies
         )

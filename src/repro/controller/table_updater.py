@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from repro.core.blocks import BlockRange
 from repro.switchsim.pipeline import Pipeline
 from repro.switchsim.tables import StageGrant
+from repro.telemetry import MetricsRegistry, resolve
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,10 +53,14 @@ class TableUpdateEngine:
     TRANSLATION_WINDOW = 3
 
     def __init__(
-        self, pipeline: Pipeline, cost: Optional[TableUpdateCost] = None
+        self,
+        pipeline: Pipeline,
+        cost: Optional[TableUpdateCost] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.pipeline = pipeline
         self.cost = cost or TableUpdateCost()
+        self.telemetry = resolve(telemetry)
         self.entries_installed = 0
         self.entries_removed = 0
 
@@ -75,6 +80,7 @@ class TableUpdateEngine:
         # stale; flush eagerly (the version stamps would also catch it,
         # but eager flushes keep the cache from serving dead entries).
         self.pipeline.invalidate_program_cache(fid)
+        installed_before = self.entries_installed
         seconds = 0.0
         # Translations first, descending, so the entry for the nearest
         # upcoming access wins where windows overlap.
@@ -102,11 +108,18 @@ class TableUpdateEngine:
             )
             seconds += self.cost.install_entry_seconds
             self.entries_installed += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "table_entries_installed_total",
+                help="Match-table entries installed by the controller",
+            ).inc(self.entries_installed - installed_before)
         return seconds
 
     def remove_app(self, fid: int) -> float:
         """Remove every grant and translation entry for *fid*."""
         self.pipeline.invalidate_program_cache(fid)
+        removed_before = self.entries_removed
         seconds = 0.0
         for stage in self.pipeline.stages:
             if stage.table.remove_grant(fid) is not None:
@@ -115,6 +128,12 @@ class TableUpdateEngine:
             if stage.table.remove_translation(fid):
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "table_entries_removed_total",
+                help="Match-table entries removed by the controller",
+            ).inc(self.entries_removed - removed_before)
         return seconds
 
     def reinstall_app(

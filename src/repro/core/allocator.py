@@ -23,6 +23,7 @@ from repro.core.mutants import MutantCandidate, enumerate_mutants
 from repro.core.schemes import AllocationScheme
 from repro.packets.headers import AllocationResponseHeader, StageRegion
 from repro.switchsim.config import SwitchConfig
+from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
 
 
 class AllocationError(Exception):
@@ -86,6 +87,16 @@ class AllocationDecision:
         return sorted(self.reallocations)
 
 
+def _moved_blocks(reallocations: ReallocationMap) -> int:
+    """Blocks whose placement changed -- each one a client must re-page."""
+    moved = 0
+    for per_stage in reallocations.values():
+        for old, new in per_stage.values():
+            if old is not None and old != new:
+                moved += old.count
+    return moved
+
+
 def merge_demands(
     left: Optional[int], right: Optional[int]
 ) -> Optional[int]:
@@ -110,10 +121,12 @@ class ActiveRmtAllocator:
         config: Optional[SwitchConfig] = None,
         scheme: AllocationScheme = AllocationScheme.WORST_FIT,
         policy: AllocationPolicy = MOST_CONSTRAINED,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or SwitchConfig()
         self.scheme = scheme
         self.policy = policy
+        self.telemetry = resolve(telemetry)
         self.pools: Dict[int, StagePool] = {
             stage: StagePool(self.config.blocks_per_stage)
             for stage in range(1, self.config.num_stages + 1)
@@ -150,7 +163,7 @@ class ActiveRmtAllocator:
                 break
         search_seconds = time.perf_counter() - search_start
         if best is None:
-            return AllocationDecision(
+            decision = AllocationDecision(
                 success=False,
                 fid=fid,
                 reason="no feasible mutant under current occupancy",
@@ -158,6 +171,8 @@ class ActiveRmtAllocator:
                 candidates_feasible=feasible,
                 search_seconds=search_seconds,
             )
+            self._record_decision(decision)
+            return decision
 
         assign_start = time.perf_counter()
         before = self._layout_snapshot(best_demands.keys())
@@ -175,7 +190,7 @@ class ActiveRmtAllocator:
         after = self._layout_snapshot(best_demands.keys())
         regions, reallocations = self._diff_layouts(fid, before, after)
         assign_seconds = time.perf_counter() - assign_start
-        return AllocationDecision(
+        decision = AllocationDecision(
             success=True,
             fid=fid,
             mutant=best,
@@ -186,6 +201,8 @@ class ActiveRmtAllocator:
             search_seconds=search_seconds,
             assign_seconds=assign_seconds,
         )
+        self._record_decision(decision)
+        return decision
 
     def release(self, fid: int) -> ReallocationMap:
         """Remove an application; elastic co-residents expand.
@@ -202,6 +219,20 @@ class ActiveRmtAllocator:
             self.pools[stage].remove(fid)
         after = self._layout_snapshot(stages)
         _regions, reallocations = self._diff_layouts(fid, before, after)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "allocator_releases_total",
+                help="Applications released from the allocator",
+            ).inc()
+            tel.counter(
+                "allocator_apps_displaced_total",
+                help="Incumbent apps resized or moved per decision",
+            ).inc(len(reallocations))
+            tel.counter(
+                "allocator_blocks_moved_total",
+                help="Memory blocks whose placement changed (snapshot/restore cost)",
+            ).inc(_moved_blocks(reallocations))
         return reallocations
 
     # ------------------------------------------------------------------
@@ -255,6 +286,40 @@ class ActiveRmtAllocator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _record_decision(self, decision: AllocationDecision) -> None:
+        """Publish one admission attempt into the telemetry registry."""
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        outcome = "admitted" if decision.success else "rejected"
+        tel.counter(
+            "allocator_decisions_total",
+            help="Admission attempts by outcome",
+            outcome=outcome,
+        ).inc()
+        tel.histogram(
+            "allocator_allocation_seconds",
+            buckets=LATENCY_BUCKETS_S,
+            help="End-to-end allocation decision latency (search + assign)",
+        ).observe(decision.total_seconds)
+        tel.counter(
+            "allocator_candidates_considered_total",
+            help="Mutants enumerated during admission searches",
+        ).inc(decision.candidates_considered)
+        tel.counter(
+            "allocator_candidates_feasible_total",
+            help="Enumerated mutants that passed per-stage feasibility",
+        ).inc(decision.candidates_feasible)
+        if decision.success:
+            tel.counter(
+                "allocator_apps_displaced_total",
+                help="Incumbent apps resized or moved per decision",
+            ).inc(len(decision.reallocations))
+            tel.counter(
+                "allocator_blocks_moved_total",
+                help="Memory blocks whose placement changed (snapshot/restore cost)",
+            ).inc(_moved_blocks(decision.reallocations))
 
     def _stage_demands(
         self, candidate: MutantCandidate, pattern: AccessPattern

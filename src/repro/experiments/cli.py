@@ -2,19 +2,30 @@
 
 Usage::
 
-    python -m repro.experiments <experiment> [--quick]
+    python -m repro.experiments <experiment> [--quick] [--stats-out FILE]
     activermt-experiments all --quick
 
 ``--quick`` shrinks workload sizes for smoke runs; the defaults match
 the paper's scales.
+
+``--stats-out FILE`` enables the telemetry subsystem for the run: a
+fresh metrics registry is installed as the process default before each
+figure, so every allocator decision, admission outcome, table update,
+and data-path packet lands in it, and the registry is dumped after the
+figure finishes.  Files ending in ``.prom`` are written in Prometheus
+text exposition format; anything else gets the JSON snapshot (with
+histogram percentiles).  When several figures run (``all``), each
+figure writes its own file with the figure name spliced in before the
+extension.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 
 def _fig5(quick: bool) -> str:
@@ -119,6 +130,49 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
 }
 
 
+def _stats_path(template: str, name: str, multi: bool) -> str:
+    """Per-figure output path: splice the figure name in before the
+    extension when several figures share one --stats-out template."""
+    if not multi:
+        return template
+    stem, ext = os.path.splitext(template)
+    return f"{stem}.{name}{ext}"
+
+
+def _dump_stats(path: str, registry) -> None:
+    from repro.telemetry import dump_json, prometheus_text
+
+    if path.endswith(".prom"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(registry))
+    else:
+        dump_json(path, registry)
+
+
+def run_experiment(
+    name: str, quick: bool, stats_out: Optional[str] = None
+) -> str:
+    """Run one figure, optionally with telemetry dumped to *stats_out*.
+
+    With *stats_out* set, a fresh recording registry becomes the
+    process default for the duration of the run (restored afterwards),
+    so the controllers and switches the experiment builds report into
+    it; the registry is written to *stats_out* before returning.
+    """
+    if stats_out is None:
+        return EXPERIMENTS[name](quick)
+    from repro import telemetry
+
+    registry = telemetry.MetricsRegistry()
+    previous = telemetry.set_registry(registry)
+    try:
+        output = EXPERIMENTS[name](quick)
+    finally:
+        telemetry.set_registry(previous)
+    _dump_stats(stats_out, registry)
+    return output
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="activermt-experiments",
@@ -134,13 +188,29 @@ def main(argv=None) -> int:
         action="store_true",
         help="smaller workloads for a fast smoke run",
     )
+    parser.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable telemetry and dump the metrics registry here after "
+            "each figure run (.prom = Prometheus text, else JSON)"
+        ),
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()
-        print(EXPERIMENTS[name](args.quick))
+        stats_out = (
+            _stats_path(args.stats_out, name, len(names) > 1)
+            if args.stats_out
+            else None
+        )
+        print(run_experiment(name, args.quick, stats_out))
         elapsed = time.perf_counter() - started
         print(f"[{name} regenerated in {elapsed:.1f} s]\n")
+        if stats_out:
+            print(f"[telemetry snapshot written to {stats_out}]\n")
     return 0
 
 

@@ -13,6 +13,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.telemetry import SIZE_BUCKETS, MetricsRegistry, resolve
+
 
 class SimEvent:
     """A scheduled callback; cancellable."""
@@ -29,13 +31,32 @@ class SimEvent:
 
 
 class EventLoop:
-    """Heap-ordered discrete-event executor."""
+    """Heap-ordered discrete-event executor.
 
-    def __init__(self) -> None:
+    Args:
+        telemetry: metrics registry; when enabled, a collector mirrors
+            the executed-event count and live queue depth as gauges
+            (``eventloop_events_processed``, ``eventloop_pending``).
+    """
+
+    def __init__(self, telemetry: Optional[MetricsRegistry] = None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, SimEvent]] = []
         self._counter = itertools.count()
         self.processed = 0
+        self.telemetry = resolve(telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        registry.gauge(
+            "eventloop_events_processed",
+            help="Events executed by the simulation loop",
+        ).set(self.processed)
+        registry.gauge(
+            "eventloop_pending",
+            help="Live (uncancelled) events waiting in the heap",
+        ).set(self.pending)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> SimEvent:
         """Run *callback* at ``now + delay`` (delay >= 0)."""
@@ -109,6 +130,10 @@ class BatchDrain:
         window_s: drain window; items arriving within it batch together.
         max_batch: flush immediately once this many items are pending
             (bounds per-flush work); None means unbounded.
+        name: label distinguishing this drain's metrics from other
+            drains sharing a registry.
+        telemetry: metrics registry; when enabled each flush advances
+            a counter and a batch-size histogram labeled with *name*.
     """
 
     def __init__(
@@ -117,6 +142,8 @@ class BatchDrain:
         handler: Callable[[List[Any]], None],
         window_s: float = 0.0,
         max_batch: Optional[int] = None,
+        name: str = "drain",
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if window_s < 0:
             raise ValueError("drain window cannot be negative")
@@ -126,6 +153,8 @@ class BatchDrain:
         self.handler = handler
         self.window_s = window_s
         self.max_batch = max_batch
+        self.name = name
+        self.telemetry = resolve(telemetry)
         self._pending: List[Any] = []
         self._scheduled = False
         self.flushes = 0
@@ -149,6 +178,19 @@ class BatchDrain:
         self._pending = []
         self.flushes += 1
         self.drained += len(items)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "eventloop_drain_flushes_total",
+                help="BatchDrain flushes, by drain name",
+                drain=self.name,
+            ).inc()
+            tel.histogram(
+                "eventloop_drain_batch_size",
+                buckets=SIZE_BUCKETS,
+                help="Items per BatchDrain flush, by drain name",
+                drain=self.name,
+            ).observe(len(items))
         self.handler(items)
         return items
 

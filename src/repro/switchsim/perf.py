@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 
 @dataclasses.dataclass
@@ -105,8 +105,33 @@ class PerfCounters:
         self.batched_packets += packets
         self.touch()
 
-    def snapshot(self) -> Dict[str, float]:
-        """Counter values as a plain dict (stable keys for stats())."""
+    def reset(self) -> None:
+        """Zero every counter and forget the throughput window.
+
+        Back-to-back benchmark phases call this between runs so one
+        phase's activity window (and totals) never bleeds into the
+        next phase's packets-per-second figure.
+        """
+        self.packets = 0
+        self.programs = 0
+        self.plain_forwarded = 0
+        self.digested = 0
+        self.suppressed = 0
+        self.forwarded = 0
+        self.returned = 0
+        self.dropped = 0
+        self.faulted = 0
+        self.batches = 0
+        self.batched_packets = 0
+        self._window_start = None
+        self._window_end = None
+
+    def snapshot(self) -> Dict[str, Union[int, float]]:
+        """Counter values as a plain dict (stable keys for stats()).
+
+        Counts are ints; the two derived window values
+        (``packets_per_second``, ``elapsed_seconds``) are floats.
+        """
         return {
             "packets": self.packets,
             "programs": self.programs,

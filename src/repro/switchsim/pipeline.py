@@ -22,6 +22,7 @@ from repro.switchsim.progcache import CachedProgram, ProgramCache
 from repro.switchsim.registers import RegisterArray
 from repro.switchsim.stage import MatchActionStage
 from repro.switchsim.tables import StageTable
+from repro.telemetry import MetricsRegistry, resolve
 
 
 class PacketDisposition(enum.Enum):
@@ -69,8 +70,13 @@ class _Continuation:
 class Pipeline:
     """The 20-stage logical pipeline of the ActiveRMT runtime."""
 
-    def __init__(self, config: Optional[SwitchConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SwitchConfig] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or SwitchConfig()
+        self.telemetry = resolve(telemetry)
         self.stages: List[MatchActionStage] = [
             MatchActionStage(
                 index=stage,
@@ -117,8 +123,15 @@ class Pipeline:
         if self.program_cache is None:
             return 0
         if fid is None:
-            return self.program_cache.invalidate_all()
-        return self.program_cache.invalidate_fid(fid)
+            dropped = self.program_cache.invalidate_all()
+        else:
+            dropped = self.program_cache.invalidate_fid(fid)
+        if dropped and self.telemetry.enabled:
+            self.telemetry.counter(
+                "progcache_invalidations_total",
+                help="Program-cache entries flushed by control-plane updates",
+            ).inc(dropped)
+        return dropped
 
     # ------------------------------------------------------------------
 

@@ -348,6 +348,24 @@ class ProgramCache:
             "invalidations": self.invalidations,
         }
 
+    @staticmethod
+    def empty_stats() -> Dict[str, float]:
+        """The all-zero :meth:`stats` shape, for when caching is off.
+
+        ``ActiveSwitch.stats`` returns this instead of None so that
+        consumers (exporters, dashboards) read one stable schema
+        whether or not the cache exists.
+        """
+        return {
+            "entries": 0,
+            "capacity": 0,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+
     # ------------------------------------------------------------------
 
     def _discard(self, key: Tuple[int, ProgramDigest]) -> None:

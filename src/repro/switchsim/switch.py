@@ -18,6 +18,7 @@ outputs are identical packet for packet.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 from typing import (
     Callable,
@@ -37,7 +38,8 @@ from repro.switchsim.config import SwitchConfig
 from repro.switchsim.latency import LatencyModel
 from repro.switchsim.perf import PerfCounters
 from repro.switchsim.pipeline import ExecutionResult, PacketDisposition, Pipeline
-from repro.switchsim.progcache import infer_recirculations
+from repro.switchsim.progcache import ProgramCache, infer_recirculations
+from repro.telemetry import SIZE_BUCKETS, MetricsRegistry, PipelineTracer, resolve
 
 
 @dataclasses.dataclass
@@ -108,6 +110,9 @@ _KIND_PLAIN = 1
 _KIND_PROGRAM = 2
 _KIND_SUPPRESSED = 3
 
+#: Trace-attribute names for the classifications, indexed by _KIND_*.
+_KIND_NAMES = ("digest", "plain", "program", "suppressed")
+
 
 class ActiveSwitch:
     """A switch running the shared ActiveRMT runtime.
@@ -122,6 +127,12 @@ class ActiveSwitch:
             forwarded unprocessed.
         clock: clock used by the governor (usually the simulation
             harness's event-loop time).
+        telemetry: metrics registry; None resolves to the process
+            default (an inert NullRegistry unless one was installed),
+            keeping the default data path telemetry-free.
+        tracer: optional sampled per-packet tracer; each sampled
+            packet records one span with its fid, classification,
+            disposition, and recirculation count.
     """
 
     def __init__(
@@ -130,9 +141,13 @@ class ActiveSwitch:
         latency: Optional[LatencyModel] = None,
         governor=None,
         clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        tracer: Optional[PipelineTracer] = None,
     ) -> None:
         self.config = config or SwitchConfig()
-        self.pipeline = Pipeline(self.config)
+        self.telemetry = resolve(telemetry)
+        self.tracer = tracer
+        self.pipeline = Pipeline(self.config, telemetry=self.telemetry)
         self.latency = latency or LatencyModel()
         self.governor = governor
         self.clock = clock
@@ -141,6 +156,12 @@ class ActiveSwitch:
         self.port_stats: Dict[int, PortStats] = {}
         self.digest_count = 0
         self.perf = PerfCounters()
+        # Per-FID counter objects, cached so the enabled hot path pays
+        # one dict probe per packet instead of a registry lookup.
+        self._fid_packets: Dict[int, object] = {}
+        self._fid_recircs: Dict[int, object] = {}
+        if self.telemetry.enabled:
+            self.telemetry.register_collector(self._collect_telemetry)
 
     # ------------------------------------------------------------------
     # Topology management
@@ -167,6 +188,10 @@ class ActiveSwitch:
         """
         packet.arrival_port = in_port
         self._count_rx(in_port, packet)
+        tracer = self.tracer
+        sampled = tracer is not None and tracer.should_sample()
+        if sampled:
+            started = time.perf_counter()
         kind, result, outputs = self._process(packet, in_port)
         perf = self.perf
         perf.packets += 1
@@ -181,6 +206,19 @@ class ActiveSwitch:
             perf.suppressed += 1
         else:
             perf.plain_forwarded += 1
+        if self.telemetry.enabled and kind in (_KIND_PROGRAM, _KIND_SUPPRESSED):
+            self._count_fid(
+                packet.fid, result.recirculations if result is not None else 0
+            )
+        if sampled:
+            tracer.record(
+                "packet",
+                duration_s=time.perf_counter() - started,
+                fid=packet.fid,
+                kind=_KIND_NAMES[kind],
+                disposition=result.disposition.value if result else None,
+                recirculations=result.recirculations if result else 0,
+            )
         for output in outputs:
             self._count_tx(output.port, output.packet)
         perf.touch()
@@ -227,6 +265,12 @@ class ActiveSwitch:
         total = 0
         process = self._process
         extend = outputs_all.extend
+        # Telemetry tallies accumulate locally and roll into the
+        # registry once per batch; None when telemetry is disabled so
+        # the default path pays a single predicate per packet.
+        tel_enabled = self.telemetry.enabled
+        fid_tally: Optional[Dict[int, List[int]]] = {} if tel_enabled else None
+        tracer = self.tracer
         for packet, port in items:
             total += 1
             packet.arrival_port = port
@@ -235,12 +279,30 @@ class ActiveSwitch:
                 acc = rx[port] = [0, 0]
             acc[0] += 1
             acc[1] += packet.wire_size()
+            sampled = tracer is not None and tracer.should_sample()
+            if sampled:
+                started = time.perf_counter()
             kind, result, outputs = process(packet, port)
             counts[kind] += 1
             if kind == _KIND_PROGRAM:
                 dispositions[result.disposition] += 1
             elif kind == _KIND_DIGEST:
                 digests.append(packet)
+            if fid_tally is not None and kind in (_KIND_PROGRAM, _KIND_SUPPRESSED):
+                tally = fid_tally.get(packet.fid)
+                if tally is None:
+                    tally = fid_tally[packet.fid] = [0, 0]
+                tally[0] += 1
+                tally[1] += result.recirculations if result is not None else 0
+            if sampled:
+                tracer.record(
+                    "packet",
+                    duration_s=time.perf_counter() - started,
+                    fid=packet.fid,
+                    kind=_KIND_NAMES[kind],
+                    disposition=result.disposition.value if result else None,
+                    recirculations=result.recirculations if result else 0,
+                )
             if outputs:
                 extend(outputs)
         # -- single roll-up of everything the scalar path does per packet
@@ -277,6 +339,14 @@ class ActiveSwitch:
             dropped=dispositions[PacketDisposition.DROP],
             faulted=dispositions[PacketDisposition.FAULT],
         )
+        if fid_tally is not None:
+            self.telemetry.histogram(
+                "datapath_batch_size",
+                buckets=SIZE_BUCKETS,
+                help="Packets per receive_batch call",
+            ).observe(total)
+            for fid, (packets_n, recircs_n) in fid_tally.items():
+                self._count_fid(fid, recircs_n, packets_n)
         return BatchResult(
             outputs=outputs_all,
             packets=total,
@@ -391,7 +461,9 @@ class ActiveSwitch:
 
         Merges the perf counters (throughput, dispositions, batching),
         the program cache's hit/miss statistics, pipeline drop/fault
-        totals, and the governor's suppression count.
+        totals, and the governor's suppression count.  With caching
+        disabled the ``program_cache`` entry is an all-zero stats dict
+        (same keys), so consumers never need a None branch.
         """
         data: Dict[str, object] = self.perf.snapshot()
         data["digests_pending"] = len(self._digests)
@@ -403,11 +475,71 @@ class ActiveSwitch:
             "total_recirculations": pipeline.total_recirculations,
         }
         cache = pipeline.program_cache
-        data["program_cache"] = cache.stats() if cache is not None else None
+        data["program_cache"] = (
+            cache.stats() if cache is not None else ProgramCache.empty_stats()
+        )
         data["governor_suppressed"] = (
             self.governor.suppressed if self.governor is not None else 0
         )
         return data
+
+    def _count_fid(self, fid: int, recirculations: int, packets: int = 1) -> None:
+        """Advance the per-FID registry counters (telemetry enabled only)."""
+        counter = self._fid_packets.get(fid)
+        if counter is None:
+            counter = self._fid_packets[fid] = self.telemetry.counter(
+                "datapath_fid_packets_total",
+                help="Active-program packets processed, by FID",
+                fid=fid,
+            )
+        counter.inc(packets)
+        if recirculations:
+            recirc = self._fid_recircs.get(fid)
+            if recirc is None:
+                recirc = self._fid_recircs[fid] = self.telemetry.counter(
+                    "datapath_fid_recirculations_total",
+                    help="Recirculations consumed, by FID",
+                    fid=fid,
+                )
+            recirc.inc(recirculations)
+
+    def _collect_telemetry(self, registry) -> None:
+        """Mirror pull-style data-path state into the registry.
+
+        Registered as a collector when telemetry is enabled, so the
+        perf counters (the hot path's plain-int accumulators), the
+        digest queue depth, pipeline totals, and program-cache stats
+        surface in every snapshot/scrape without hot-path writes.
+        """
+        registry.gauge(
+            "datapath_digest_queue_depth",
+            help="Digests waiting for the switch CPU",
+        ).set(len(self._digests))
+        for key, value in self.perf.snapshot().items():
+            registry.gauge(
+                f"datapath_{key}",
+                help="Data-path perf counter (mirrored from PerfCounters)",
+            ).set(value)
+        pipeline = self.pipeline
+        registry.gauge(
+            "pipeline_drops", help="Packets dropped by the pipeline"
+        ).set(pipeline.drops)
+        registry.gauge(
+            "pipeline_faults", help="Packets faulted by the pipeline"
+        ).set(pipeline.faults)
+        registry.gauge(
+            "pipeline_recirculations",
+            help="Total recirculations charged by the pipeline",
+        ).set(pipeline.total_recirculations)
+        cache = pipeline.program_cache
+        cache_stats = (
+            cache.stats() if cache is not None else ProgramCache.empty_stats()
+        )
+        for key, value in cache_stats.items():
+            registry.gauge(
+                f"progcache_{key}",
+                help="Program-cache statistic (mirrored from ProgramCache)",
+            ).set(value)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""repro.telemetry: metrics, traces, and exporters for all three planes.
+
+The observability layer the paper's measurements imply: a process-local
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms
+with p50/p95/p99 summaries), a bounded structured-trace layer
+(:class:`TraceBuffer` / :class:`PipelineTracer` with seeded per-packet
+sampling), and two exporters (:func:`json_snapshot` for ``--stats-out``
+files, :func:`prometheus_text` for scrape endpoints).
+
+Telemetry is **off by default and zero-cost when off**: every
+instrumented component (allocator, controller, table updater, switch,
+pipeline, event loop) takes a ``telemetry=None`` parameter that
+resolves to the process default -- an inert :class:`NullRegistry` --
+at construction time.  Enable it for a whole process with::
+
+    from repro import telemetry
+
+    registry = telemetry.MetricsRegistry()
+    telemetry.set_registry(registry)     # components built after this record
+    ...run an experiment...
+    print(telemetry.prometheus_text(registry))
+
+or per component by passing ``telemetry=registry`` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.registry import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    format_series,
+)
+from repro.telemetry.trace import (
+    PacketSampler,
+    PipelineTracer,
+    TraceBuffer,
+    TraceEvent,
+)
+from repro.telemetry.export import dump_json, json_snapshot, prometheus_text
+
+#: The process-default registry handed to components built with
+#: ``telemetry=None``.  Inert unless :func:`set_registry` installs a
+#: recording one.
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-default registry (NullRegistry unless set)."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install *registry* as the process default; returns the previous.
+
+    Passing None restores the inert default.  Only components
+    constructed *after* the call pick the new registry up -- existing
+    objects keep the one they resolved at construction time.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def resolve(telemetry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Constructor helper: explicit registry, else the process default."""
+    return telemetry if telemetry is not None else _default_registry
+
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "PacketSampler",
+    "PipelineTracer",
+    "TraceBuffer",
+    "TraceEvent",
+    "dump_json",
+    "format_series",
+    "get_registry",
+    "json_snapshot",
+    "prometheus_text",
+    "resolve",
+    "set_registry",
+]

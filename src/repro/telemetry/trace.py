@@ -1,0 +1,158 @@
+"""Structured trace events: bounded spans with wall-clock durations.
+
+Metrics answer "how much"; traces answer "what did this one packet (or
+this one admission) actually do".  :class:`TraceBuffer` is a fixed-size
+ring of :class:`TraceEvent` records -- name, start time, duration, and
+free-form key/value attributes -- so a long simulation keeps only the
+most recent window and never grows without bound.
+
+Per-packet tracing at line rate would swamp the buffer and the hot
+path, so the data path samples: :class:`PacketSampler` draws from a
+seeded RNG at a configurable rate (deterministic across runs with the
+same seed, which keeps experiment traces reproducible), and
+:class:`PipelineTracer` bundles a sampler with a buffer as the one
+object :class:`~repro.switchsim.switch.ActiveSwitch` needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded span or point event.
+
+    Attributes:
+        name: event family (e.g. ``"packet"``, ``"admission"``).
+        start_s: ``time.perf_counter()`` at span start.
+        duration_s: wall-clock span length (0 for point events).
+        attrs: key/value context (fid, disposition, ...).
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: Dict[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class TraceBuffer:
+    """Ring buffer of trace events; oldest entries evict first."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(
+        self,
+        name: str,
+        duration_s: float = 0.0,
+        start_s: Optional[float] = None,
+        **attrs: object,
+    ) -> TraceEvent:
+        """Append one event, evicting the oldest when full."""
+        if start_s is None:
+            start_s = time.perf_counter()
+        event = TraceEvent(
+            name=name, start_s=start_s, duration_s=duration_s, attrs=attrs
+        )
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.recorded += 1
+        return event
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Dict[str, object]]:
+        """Time a block; yields the attrs dict for late additions."""
+        start = time.perf_counter()
+        try:
+            yield attrs
+        finally:
+            self.record(
+                name,
+                duration_s=time.perf_counter() - start,
+                start_s=start,
+                **attrs,
+            )
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-able view, oldest first."""
+        return [event.as_dict() for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class PacketSampler:
+    """Seeded Bernoulli sampler for per-packet trace decisions.
+
+    Rates of 0 and 1 short-circuit without consuming RNG state, so a
+    0%-sampling tracer costs one comparison per packet and a given
+    (rate, seed) pair always selects the same packet positions.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sample rate must be within [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def should_sample(self) -> bool:
+        rate = self.rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self._rng.random() < rate
+
+
+class PipelineTracer:
+    """Sampler + buffer pair the data path consumes.
+
+    Args:
+        sample_rate: fraction of packets whose pipeline execution is
+            traced (0 disables per-packet spans but keeps the buffer
+            usable for coarser events).
+        seed: sampler seed; fixed so reruns trace the same packets.
+        capacity: ring-buffer size.
+    """
+
+    def __init__(
+        self, sample_rate: float = 0.0, seed: int = 0, capacity: int = 4096
+    ) -> None:
+        self.buffer = TraceBuffer(capacity)
+        self.sampler = PacketSampler(sample_rate, seed)
+
+    def should_sample(self) -> bool:
+        return self.sampler.should_sample()
+
+    def record(self, name: str, duration_s: float = 0.0, **attrs: object):
+        return self.buffer.record(name, duration_s=duration_s, **attrs)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return self.buffer.snapshot()

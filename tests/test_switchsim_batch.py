@@ -139,9 +139,20 @@ def test_stats_surface():
         assert key in stats
     assert stats["program_cache"]["misses"] > 0
     assert stats["pipeline"]["faults"] == 1
-    assert ActiveSwitch(SwitchConfig(program_cache_entries=0)).stats()[
+    # Cache disabled: same schema, all-zero values (no None branch).
+    uncached = ActiveSwitch(SwitchConfig(program_cache_entries=0)).stats()[
         "program_cache"
-    ] is None
+    ]
+    assert uncached == {
+        "entries": 0,
+        "capacity": 0,
+        "hits": 0,
+        "misses": 0,
+        "hit_rate": 0.0,
+        "evictions": 0,
+        "invalidations": 0,
+    }
+    assert sorted(uncached) == sorted(stats["program_cache"])
 
 
 # ----------------------------------------------------------------------

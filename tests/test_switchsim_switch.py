@@ -133,3 +133,82 @@ def test_latency_30_instructions_recirculates(switch):
     source = "\n".join(["RTS"] + ["NOP"] * 28 + ["RETURN"])
     outputs = switch.receive(_program_packet(source), in_port=1)
     assert outputs[0].result.passes == 2
+
+
+# ----------------------------------------------------------------------
+# stats() schema and perf-counter lifecycle
+# ----------------------------------------------------------------------
+
+#: The pinned stats() key schema.  Exporters and dashboards key off
+#: these names; changing them is a breaking change that must be made
+#: deliberately (update this list AND the consumers).
+STATS_SCHEMA = [
+    "batched_packets",
+    "batches",
+    "digested",
+    "digests_delivered",
+    "digests_pending",
+    "dropped",
+    "elapsed_seconds",
+    "faulted",
+    "forwarded",
+    "governor_suppressed",
+    "packets",
+    "packets_per_second",
+    "pipeline",
+    "plain_forwarded",
+    "program_cache",
+    "programs",
+    "returned",
+    "suppressed",
+]
+
+
+def test_stats_key_schema_is_stable(switch):
+    switch.receive(_program_packet("NOP\nRETURN"), in_port=1)
+    stats = switch.stats()
+    assert sorted(stats) == STATS_SCHEMA
+    # Nested sections are pinned too.
+    assert sorted(stats["pipeline"]) == [
+        "drops",
+        "faults",
+        "total_recirculations",
+    ]
+    assert sorted(stats["program_cache"]) == [
+        "capacity",
+        "entries",
+        "evictions",
+        "hit_rate",
+        "hits",
+        "invalidations",
+        "misses",
+    ]
+
+
+def test_stats_schema_identical_with_cache_disabled():
+    cached = ActiveSwitch(SwitchConfig())
+    uncached = ActiveSwitch(SwitchConfig(program_cache_entries=0))
+    assert sorted(cached.stats()) == sorted(uncached.stats())
+    assert isinstance(uncached.stats()["program_cache"], dict)
+    assert uncached.stats()["program_cache"]["capacity"] == 0
+
+
+def test_perf_counters_reset(switch):
+    switch.receive(_program_packet("NOP\nRETURN"), in_port=1)
+    switch.receive(_program_packet("RTS\nRETURN"), in_port=1)
+    perf = switch.perf
+    assert perf.packets == 2
+    assert perf.elapsed_seconds >= 0.0
+    perf.reset()
+    assert perf.packets == 0
+    assert perf.forwarded == 0
+    assert perf.returned == 0
+    assert perf.elapsed_seconds == 0.0
+    assert perf.packets_per_second == 0.0
+    # A fresh window starts cleanly after the reset.
+    switch.receive(_program_packet("NOP\nRETURN"), in_port=1)
+    assert perf.packets == 1
+    snapshot = perf.snapshot()
+    assert snapshot["packets"] == 1
+    assert isinstance(snapshot["packets"], int)
+    assert isinstance(snapshot["packets_per_second"], float)

@@ -18,8 +18,6 @@ CI machines with noisy clocks).
 import os
 import time
 
-import pytest
-
 from repro.isa import assemble
 from repro.packets import ActivePacket, MacAddress
 from repro.packets.codec import encode_packet

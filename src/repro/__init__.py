@@ -19,6 +19,10 @@ Control plane::
     controller = ActiveRmtController(switch)
     report = controller.submit(ProvisioningRequest.admission(fid, pattern))
 
+    # What-if probing: plan without committing anything.
+    plan = controller.what_if(fid=99, pattern=pattern)
+    print(plan.feasible, plan.regions)
+
 Client side::
 
     from repro import compile_mutant
@@ -47,6 +51,14 @@ from repro.controller.controller import (
     ProvisioningReport,
     ProvisioningRequest,
     RequestKind,
+)
+from repro.core.transactions import (
+    AllocationPlan,
+    CommitResult,
+    PlanState,
+    PoolSnapshot,
+    TableUpdateJournal,
+    TransactionError,
 )
 from repro.switchsim.config import SwitchConfig
 from repro.switchsim.perf import PerfCounters
@@ -80,6 +92,13 @@ __all__ = [
     "ProvisioningReport",
     "ProvisioningRequest",
     "RequestKind",
+    # Transactions
+    "AllocationPlan",
+    "CommitResult",
+    "PlanState",
+    "PoolSnapshot",
+    "TableUpdateJournal",
+    "TransactionError",
     # Client
     "ActiveCompiler",
     "CompilationError",

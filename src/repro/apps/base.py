@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 from repro.core.constraints import AccessPattern
 from repro.isa.program import ActiveProgram

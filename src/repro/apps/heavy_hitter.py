@@ -24,7 +24,7 @@ slot 2 = key-table slot address (client-translated).
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.client.compiler import SynthesizedProgram
 from repro.client.memsync import build_multi_read_packet, extract_read_value, multi_read_slots

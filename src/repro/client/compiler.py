@@ -14,7 +14,7 @@ Given a compact active program, the compiler:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.constraints import (
     AccessPattern,

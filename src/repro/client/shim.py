@@ -12,7 +12,6 @@ The shim is transport-agnostic: callers feed it received packets via
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 from typing import Callable, List, Optional, Sequence
 

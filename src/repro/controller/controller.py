@@ -20,15 +20,17 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.allocator import (
     ActiveRmtAllocator,
     AllocationDecision,
     AllocationError,
 )
+from repro.core.blocks import BlockRange
 from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRAINED
 from repro.core.schemes import AllocationScheme
+from repro.core.transactions import AllocationPlan, TableUpdateJournal
 from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
@@ -70,7 +72,8 @@ class ProvisioningRequest:
     Build instances through the constructors -- they enforce the fields
     each kind requires:
 
-    - :meth:`admission` -- admit *fid* with an access *pattern*.
+    - :meth:`admission` -- admit *fid* with an access *pattern*; pass
+      ``dry_run=True`` for a side-effect-free what-if probe.
     - :meth:`withdrawal` -- release *fid*'s allocation.
     - :meth:`from_digest` -- handle a digested switch packet
       (allocation request or control message).
@@ -80,10 +83,17 @@ class ProvisioningRequest:
     fid: Optional[int] = None
     pattern: Optional[AccessPattern] = None
     digest: Optional[ActivePacket] = None
+    #: Plan only -- report what the admission would do without touching
+    #: any allocator or switch state.
+    dry_run: bool = False
 
     @classmethod
-    def admission(cls, fid: int, pattern: AccessPattern) -> "ProvisioningRequest":
-        return cls(kind=RequestKind.ADMIT, fid=fid, pattern=pattern)
+    def admission(
+        cls, fid: int, pattern: AccessPattern, dry_run: bool = False
+    ) -> "ProvisioningRequest":
+        return cls(
+            kind=RequestKind.ADMIT, fid=fid, pattern=pattern, dry_run=dry_run
+        )
 
     @classmethod
     def withdrawal(cls, fid: int) -> "ProvisioningRequest":
@@ -111,6 +121,14 @@ class ProvisioningReport:
     table_update_seconds: float = 0.0
     snapshot_seconds: float = 0.0
     replies: List[ActivePacket] = dataclasses.field(default_factory=list)
+    #: The plan behind this admission (also set for dry runs, where it
+    #: is the entire result).
+    plan: Optional[AllocationPlan] = None
+    #: True when this was a what-if probe: nothing was mutated.
+    dry_run: bool = False
+    #: True when the admission was committed and then exactly undone
+    #: because the switch rejected the table updates (TCAM exhaustion).
+    rolled_back: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -174,7 +192,9 @@ class ActiveRmtController:
         if request.kind is RequestKind.ADMIT:
             if request.fid is None or request.pattern is None:
                 raise ControllerError("admission requires fid and pattern")
-            return self._do_admit(request.fid, request.pattern)
+            return self._do_admit(
+                request.fid, request.pattern, dry_run=request.dry_run
+            )
         if request.kind is RequestKind.WITHDRAW:
             if request.fid is None:
                 raise ControllerError("withdrawal requires fid")
@@ -189,54 +209,98 @@ class ActiveRmtController:
     # Synchronous control-plane API (wrappers over submit)
     # ------------------------------------------------------------------
 
-    def admit(self, fid: int, pattern: AccessPattern) -> ProvisioningReport:
+    def admit(
+        self, fid: int, pattern: AccessPattern, dry_run: bool = False
+    ) -> ProvisioningReport:
         """Admit an application, applying the full reallocation protocol.
 
         The report's durations model what a real deployment would
         spend; the in-process state (allocator, tables, deactivations)
-        is updated for real.
+        is updated for real.  With ``dry_run=True`` nothing is updated:
+        the report carries the :class:`AllocationPlan` a real admission
+        would have committed (what-if capacity probing).
         """
-        return self.submit(ProvisioningRequest.admission(fid, pattern))
+        return self.submit(
+            ProvisioningRequest.admission(fid, pattern, dry_run=dry_run)
+        )
+
+    def what_if(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
+        """Probe an admission without side effects; returns the plan."""
+        report = self.admit(fid, pattern, dry_run=True)
+        assert report.plan is not None
+        return report.plan
 
     def withdraw(self, fid: int) -> float:
         """Release an application's allocation; returns modeled seconds."""
         report = self.submit(ProvisioningRequest.withdrawal(fid))
         return report.table_update_seconds
 
-    def _do_admit(self, fid: int, pattern: AccessPattern) -> ProvisioningReport:
-        decision = self.allocator.allocate(fid, pattern)
-        if not decision.success:
+    def _do_admit(
+        self, fid: int, pattern: AccessPattern, dry_run: bool = False
+    ) -> ProvisioningReport:
+        """Two-phase admission: plan, commit, apply tables, or roll back.
+
+        Phase 1 (*plan*) computes the entire decision without touching
+        allocator or switch state.  Phase 2 (*commit + apply*) takes an
+        allocator checkpoint, commits the plan, and applies every table
+        update through a :class:`TableUpdateJournal`; if the switch
+        rejects an update (TCAM exhaustion), the journal is replayed
+        backwards and the allocator checkpoint restored, leaving every
+        incumbent -- pools, table entries, register contents,
+        activation state -- byte-identical to the pre-request state.
+        """
+        plan = self.allocator.plan(fid, pattern)
+        if dry_run:
+            return self._report_dry_run(plan)
+        if not plan.feasible:
+            self.allocator.abort(plan)
+            decision = self.allocator.decision_from_plan(plan)
+            self.allocator.record_decision(decision)
             report = ProvisioningReport(
                 fid=fid,
                 success=False,
                 decision=decision,
-                reason=decision.reason,
+                reason=plan.reason,
                 compute_seconds=decision.total_seconds,
+                plan=plan,
             )
             self.reports.append(report)
             self._record_admission(report, "no_feasible_mutant")
             return report
 
+        # Decision telemetry is deferred (record=False) until the
+        # switch-side updates also succeed, so a rolled-back admission
+        # never pollutes the allocator's decision counters.
+        result = self.allocator.commit(plan, record=False)
+        decision = result.decision
+        journal = TableUpdateJournal()
         try:
             table_seconds, snapshot_seconds = self._apply_admission(
-                fid, decision
+                fid, decision, journal
             )
         except TcamCapacityError as exc:
             # The allocator found room in register memory but the stage
             # TCAM cannot hold another protection range (the paper's
-            # stated bottleneck).  Roll everything back and deny.
-            self._rollback_admission(fid, decision)
+            # stated bottleneck).  Replay the journal backwards (table
+            # entries, activations, register scrubs) and restore the
+            # allocator checkpoint: exact pre-request state.
+            journal.rollback()
+            self.allocator.rollback(result)
             report = ProvisioningReport(
                 fid=fid,
                 success=False,
                 decision=decision,
                 reason=f"TCAM exhausted: {exc}",
                 compute_seconds=decision.total_seconds,
+                plan=plan,
+                rolled_back=True,
             )
             self.reports.append(report)
             self._record_admission(report, "tcam_exhausted")
             return report
 
+        journal.commit_entries()
+        self.allocator.record_decision(decision)
         report = ProvisioningReport(
             fid=fid,
             success=True,
@@ -244,10 +308,31 @@ class ActiveRmtController:
             compute_seconds=decision.total_seconds,
             table_update_seconds=table_seconds,
             snapshot_seconds=snapshot_seconds,
+            plan=plan,
         )
         self.reports.append(report)
         self._record_admission(report, "admitted")
         return report
+
+    def _report_dry_run(self, plan: AllocationPlan) -> ProvisioningReport:
+        """Package a what-if probe: the plan is the entire result."""
+        self.allocator.abort(plan)
+        decision = self.allocator.decision_from_plan(plan)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "controller_whatif_probes_total",
+                help="Dry-run admission probes (no state mutated)",
+                feasible="yes" if plan.feasible else "no",
+            ).inc()
+        return ProvisioningReport(
+            fid=plan.fid,
+            success=plan.feasible,
+            decision=decision,
+            reason=plan.reason,
+            compute_seconds=plan.total_seconds,
+            plan=plan,
+            dry_run=True,
+        )
 
     def _record_admission(self, report: ProvisioningReport, outcome: str) -> None:
         """Publish one admission outcome and its modeled cost breakdown."""
@@ -270,13 +355,25 @@ class ActiveRmtController:
             help="Modeled match-table update time per request",
         ).observe(report.table_update_seconds)
 
-    def _apply_admission(self, fid, decision):
+    def _apply_admission(
+        self,
+        fid: int,
+        decision: AllocationDecision,
+        journal: TableUpdateJournal,
+    ) -> Tuple[float, float]:
+        """Apply a committed admission to the switch (Section 4.3).
+
+        Every mutation -- table entries, (de)activations, register
+        scrubs -- is recorded in *journal* so a mid-flight failure can
+        be reversed exactly.  Returns modeled
+        ``(table_seconds, snapshot_seconds)``.
+        """
         table_seconds = 0.0
         snapshot_seconds = 0.0
         impacted = decision.reallocated_fids
         # 1. Deactivate impacted applications (consistent snapshot).
         for other in impacted:
-            table_seconds += self.updater.deactivate(other)
+            table_seconds += self.updater.deactivate(other, journal=journal)
         # 2. Clients extract state from the frozen snapshot.
         for other in impacted:
             paged_blocks = sum(
@@ -292,32 +389,42 @@ class ActiveRmtController:
         block_words = self.switch.config.block_words
         for other in impacted:
             table_seconds += self.updater.reinstall_app(
-                other, self._current_regions(other), block_words
+                other, self._current_regions(other), block_words, journal=journal
             )
         # 4. Scrub and install the newcomer's regions.
         for stage, block_range in decision.regions.items():
-            words = block_range.to_words(block_words)
-            self.switch.pipeline.stage(stage).registers.clear(
-                words.start, words.end
-            )
+            self._scrub_region(stage, block_range, block_words, journal)
         table_seconds += self.updater.install_app(
-            fid, decision.regions, block_words
+            fid, decision.regions, block_words, journal=journal
         )
         # 5. Reactivate everyone.
         for other in impacted:
-            table_seconds += self.updater.reactivate(other)
+            table_seconds += self.updater.reactivate(other, journal=journal)
         return table_seconds, snapshot_seconds
 
-    def _rollback_admission(self, fid, decision) -> None:
-        """Undo a partially applied admission after a TCAM failure."""
-        self.updater.remove_app(fid)
-        self.allocator.release(fid)
-        block_words = self.switch.config.block_words
-        for other in decision.reallocated_fids:
-            self.updater.reinstall_app(
-                other, self._current_regions(other), block_words
-            )
-            self.updater.reactivate(other)
+    def _scrub_region(
+        self,
+        stage: int,
+        block_range: BlockRange,
+        block_words: int,
+        journal: TableUpdateJournal,
+    ) -> None:
+        """Zero a newcomer region, journaling the prior word contents.
+
+        The scrubbed words may include blocks an incumbent just
+        vacated; rolling back the admission must restore those exact
+        bytes, so the undo reloads the pre-scrub snapshot.
+        """
+        words = block_range.to_words(block_words)
+        registers = self.switch.pipeline.stage(stage).registers
+        previous = registers.snapshot(words.start, words.end)
+        registers.clear(words.start, words.end)
+        journal.record(
+            f"scrub stage={stage} words=[{words.start},{words.end})",
+            lambda registers=registers, start=words.start, previous=previous: (
+                registers.load(start, previous)
+            ),
+        )
 
     def _do_withdraw(self, fid: int) -> ProvisioningReport:
         seconds = self._withdraw_tables(fid)
@@ -348,7 +455,7 @@ class ActiveRmtController:
             seconds += self.updater.reactivate(other)
         return seconds
 
-    def _current_regions(self, fid: int) -> Dict[int, object]:
+    def _current_regions(self, fid: int) -> Dict[int, BlockRange]:
         return {
             stage: block_range
             for stage, block_range in self.allocator.regions_for(fid).items()

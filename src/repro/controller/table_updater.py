@@ -5,16 +5,27 @@ update table entries on the switch, including removing old entries and
 installing new ones" (Section 6.2).  The engine below performs the
 actual installs against the simulated pipeline and charges a per-entry
 latency so experiments can reproduce Figure 8a's breakdown.
+
+Every mutating operation optionally records itself in a
+:class:`~repro.core.transactions.TableUpdateJournal` as a reversible
+op: the undo closure captures the exact prior entry (or its absence)
+and restores it on rollback.  The controller opens one journal per
+admission transaction; when a mid-flight install trips
+:class:`~repro.switchsim.tables.TcamCapacityError`, replaying the
+journal backwards walks the pipeline through the same intermediate
+states in reverse, so no step of the rollback can itself exceed a
+capacity limit.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.blocks import BlockRange
+from repro.core.transactions import TableUpdateJournal
 from repro.switchsim.pipeline import Pipeline
-from repro.switchsim.tables import StageGrant
+from repro.switchsim.tables import StageGrant, StageTable
 from repro.telemetry import MetricsRegistry, resolve
 
 
@@ -65,21 +76,90 @@ class TableUpdateEngine:
         self.entries_removed = 0
 
     # ------------------------------------------------------------------
+    # Journaled single-entry primitives
+    # ------------------------------------------------------------------
+
+    def _install_grant(
+        self,
+        table: StageTable,
+        grant: StageGrant,
+        journal: Optional[TableUpdateJournal],
+    ) -> None:
+        """Install one grant; journal the exact prior entry (if any)."""
+        previous = table.grant_for(grant.fid)
+        table.install_grant(grant)
+        if journal is not None:
+
+            def undo(
+                table: StageTable = table,
+                fid: int = grant.fid,
+                previous: Optional[StageGrant] = previous,
+            ) -> None:
+                if previous is None:
+                    table.remove_grant(fid)
+                else:
+                    table.install_grant(previous)
+
+            journal.record(f"install_grant fid={grant.fid}", undo)
+
+    def _install_translation(
+        self,
+        table: StageTable,
+        fid: int,
+        mask: int,
+        offset: int,
+        journal: Optional[TableUpdateJournal],
+    ) -> None:
+        previous = table.translation_for(fid)
+        table.install_translation(fid, mask=mask, offset=offset)
+        if journal is not None:
+
+            def undo(
+                table: StageTable = table,
+                fid: int = fid,
+                previous: Optional[Tuple[int, int]] = previous,
+            ) -> None:
+                if previous is None:
+                    table.remove_translation(fid)
+                else:
+                    table.install_translation(
+                        fid, mask=previous[0], offset=previous[1]
+                    )
+
+            journal.record(f"install_translation fid={fid}", undo)
+
+    def _invalidate_cache(
+        self, fid: int, journal: Optional[TableUpdateJournal]
+    ) -> None:
+        """Flush cached schedules; on rollback, flush again so entries
+        decoded against the transaction's tables cannot survive it."""
+        self.pipeline.invalidate_program_cache(fid)
+        if journal is not None:
+            journal.record(
+                f"invalidate_program_cache fid={fid}",
+                lambda: self.pipeline.invalidate_program_cache(fid),
+            )
+
+    # ------------------------------------------------------------------
 
     def install_app(
         self,
         fid: int,
         regions: Dict[int, BlockRange],
         block_words: int,
+        journal: Optional[TableUpdateJournal] = None,
     ) -> float:
         """Install grants + translations for an app's per-stage regions.
 
-        Returns the modeled control-plane seconds spent.
+        Returns the modeled control-plane seconds spent.  With a
+        *journal*, each applied entry is recorded as a reversible op
+        (entries applied before a mid-flight ``TcamCapacityError`` are
+        thereby exactly undoable).
         """
         # New decode state makes any cached schedule for this FID
         # stale; flush eagerly (the version stamps would also catch it,
         # but eager flushes keep the cache from serving dead entries).
-        self.pipeline.invalidate_program_cache(fid)
+        self._invalidate_cache(fid, journal)
         installed_before = self.entries_installed
         seconds = 0.0
         # Translations first, descending, so the entry for the nearest
@@ -90,21 +170,27 @@ class TableUpdateEngine:
             for prior in range(
                 max(1, stage - self.TRANSLATION_WINDOW), stage
             ):
-                self.pipeline.stage(prior).table.install_translation(
-                    fid, mask=mask, offset=words.start
+                self._install_translation(
+                    self.pipeline.stage(prior).table,
+                    fid,
+                    mask=mask,
+                    offset=words.start,
+                    journal=journal,
                 )
                 seconds += self.cost.install_entry_seconds
                 self.entries_installed += 1
         for stage, block_range in regions.items():
             words = block_range.to_words(block_words)
-            self.pipeline.stage(stage).table.install_grant(
+            self._install_grant(
+                self.pipeline.stage(stage).table,
                 StageGrant(
                     fid=fid,
                     start=words.start,
                     end=words.end,
                     mask=_pow2_mask(words.size),
                     offset=words.start,
-                )
+                ),
+                journal=journal,
             )
             seconds += self.cost.install_entry_seconds
             self.entries_installed += 1
@@ -116,18 +202,38 @@ class TableUpdateEngine:
             ).inc(self.entries_installed - installed_before)
         return seconds
 
-    def remove_app(self, fid: int) -> float:
+    def remove_app(
+        self, fid: int, journal: Optional[TableUpdateJournal] = None
+    ) -> float:
         """Remove every grant and translation entry for *fid*."""
-        self.pipeline.invalidate_program_cache(fid)
+        self._invalidate_cache(fid, journal)
         removed_before = self.entries_removed
         seconds = 0.0
         for stage in self.pipeline.stages:
-            if stage.table.remove_grant(fid) is not None:
+            removed_grant = stage.table.remove_grant(fid)
+            if removed_grant is not None:
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
+                if journal is not None:
+                    journal.record(
+                        f"remove_grant fid={fid} stage={stage.index}",
+                        lambda table=stage.table, grant=removed_grant: (
+                            table.install_grant(grant)
+                        ),
+                    )
+            removed_translation = stage.table.translation_for(fid)
             if stage.table.remove_translation(fid):
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
+                if journal is not None:
+                    journal.record(
+                        f"remove_translation fid={fid} stage={stage.index}",
+                        lambda table=stage.table,
+                        fid=fid,
+                        pair=removed_translation: table.install_translation(
+                            fid, mask=pair[0], offset=pair[1]
+                        ),
+                    )
         tel = self.telemetry
         if tel.enabled:
             tel.counter(
@@ -141,14 +247,41 @@ class TableUpdateEngine:
         fid: int,
         regions: Dict[int, BlockRange],
         block_words: int,
+        journal: Optional[TableUpdateJournal] = None,
     ) -> float:
         """Replace an app's entries after a reallocation."""
-        return self.remove_app(fid) + self.install_app(fid, regions, block_words)
+        return self.remove_app(fid, journal=journal) + self.install_app(
+            fid, regions, block_words, journal=journal
+        )
 
-    def deactivate(self, fid: int) -> float:
+    def deactivate(
+        self, fid: int, journal: Optional[TableUpdateJournal] = None
+    ) -> float:
+        if journal is not None:
+            was_active = self.pipeline.is_active(fid)
+
+            def undo(fid: int = fid, was_active: bool = was_active) -> None:
+                if was_active:
+                    self.pipeline.reactivate_fid(fid)
+                else:
+                    self.pipeline.deactivate_fid(fid)
+
+            journal.record(f"deactivate fid={fid}", undo)
         self.pipeline.deactivate_fid(fid)
         return self.cost.activation_seconds
 
-    def reactivate(self, fid: int) -> float:
+    def reactivate(
+        self, fid: int, journal: Optional[TableUpdateJournal] = None
+    ) -> float:
+        if journal is not None:
+            was_active = self.pipeline.is_active(fid)
+
+            def undo(fid: int = fid, was_active: bool = was_active) -> None:
+                if was_active:
+                    self.pipeline.reactivate_fid(fid)
+                else:
+                    self.pipeline.deactivate_fid(fid)
+
+            journal.record(f"reactivate fid={fid}", undo)
         self.pipeline.reactivate_fid(fid)
         return self.cost.activation_seconds

@@ -16,6 +16,9 @@ This package implements Section 4 of the paper:
   best-fit, first-fit, and reallocation-minimizing (Section 6.4).
 - :mod:`repro.core.allocator` -- the online allocator: admission
   control, candidate search, assignment, and reallocation accounting.
+- :mod:`repro.core.transactions` -- transactional admission: pure
+  plans, byte-identical pool snapshots, and the reversible-operation
+  journal the controller replays backwards on switch-side failure.
 """
 
 from repro.core.constraints import (
@@ -35,6 +38,15 @@ from repro.core.allocator import (
     AllocationDecision,
     AppRecord,
     AllocationError,
+)
+from repro.core.transactions import (
+    AllocationPlan,
+    AllocatorCheckpoint,
+    CommitResult,
+    PlanState,
+    PoolSnapshot,
+    TableUpdateJournal,
+    TransactionError,
 )
 
 __all__ = [
@@ -56,4 +68,11 @@ __all__ = [
     "AllocationDecision",
     "AppRecord",
     "AllocationError",
+    "AllocationPlan",
+    "AllocatorCheckpoint",
+    "CommitResult",
+    "PlanState",
+    "PoolSnapshot",
+    "TableUpdateJournal",
+    "TransactionError",
 ]

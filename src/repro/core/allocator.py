@@ -9,18 +9,35 @@ does not consider relocating existing applications"), but elastic
 applications sharing a stage are resized by progressive filling, which
 the decision reports as reallocations (each costs the affected client a
 snapshot/restore cycle, Section 4.3).
+
+Admission is transactional: :meth:`ActiveRmtAllocator.plan` computes
+the whole decision against copy-on-write shadows of the stage pools --
+zero mutation during the search -- and :meth:`~ActiveRmtAllocator.commit`
+/ :meth:`~ActiveRmtAllocator.abort` apply or discard it.  A committed
+admission can be undone byte-for-byte with
+:meth:`~ActiveRmtAllocator.rollback` (the controller uses this when the
+switch rejects the table updates).  The legacy single-call
+:meth:`~ActiveRmtAllocator.allocate` survives as a plan+commit wrapper.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.blocks import BlockRange, StagePool
 from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRAINED
 from repro.core.mutants import MutantCandidate, enumerate_mutants
 from repro.core.schemes import AllocationScheme
+from repro.core.transactions import (
+    AllocationPlan,
+    AllocatorCheckpoint,
+    CommitResult,
+    PlanState,
+    PoolSnapshot,
+    TransactionError,
+)
 from repro.packets.headers import AllocationResponseHeader, StageRegion
 from repro.switchsim.config import SwitchConfig
 from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
@@ -133,13 +150,30 @@ class ActiveRmtAllocator:
         }
         self.apps: Dict[int, AppRecord] = {}
         self._arrival_counter = 0
+        #: Monotonic state version: bumped by every commit, release, and
+        #: rollback.  Plans stamp the version they were computed against
+        #: and cannot be committed once it has moved on.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Current state version (the basis stamp for new plans)."""
+        return self._version
 
     # ------------------------------------------------------------------
-    # Admission
+    # Admission: plan -> validate -> commit
     # ------------------------------------------------------------------
 
-    def allocate(self, fid: int, pattern: AccessPattern) -> AllocationDecision:
-        """Attempt to admit *fid* with the given access pattern."""
+    def plan(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
+        """Compute what admitting *fid* would do -- without doing it.
+
+        The mutant search only reads pool state (feasibility checks and
+        scheme scoring are pure); the assignment is then computed on
+        copy-on-write shadow pools, so no allocator or pool state
+        mutates before -- or after -- a feasible winner is chosen.  The
+        returned plan is committed with :meth:`commit`, discarded with
+        :meth:`abort`, or inspected as a what-if probe.
+        """
         if fid in self.apps:
             raise AllocationError(f"fid {fid} already admitted")
         search_start = time.perf_counter()
@@ -163,46 +197,172 @@ class ActiveRmtAllocator:
                 break
         search_seconds = time.perf_counter() - search_start
         if best is None:
-            decision = AllocationDecision(
-                success=False,
+            return AllocationPlan(
                 fid=fid,
+                pattern=pattern,
+                feasible=False,
                 reason="no feasible mutant under current occupancy",
                 candidates_considered=considered,
                 candidates_feasible=feasible,
                 search_seconds=search_seconds,
+                basis_version=self._version,
             )
-            self._record_decision(decision)
-            return decision
 
         assign_start = time.perf_counter()
+        planned_arrival = self._arrival_counter + 1
         before = self._layout_snapshot(best_demands.keys())
-        self._arrival_counter += 1
-        arrival = self._arrival_counter
+        shadows = {
+            stage: self.pools[stage].clone() for stage in best_demands
+        }
         for stage, demand in best_demands.items():
-            self.pools[stage].add(fid, demand, arrival)
-        self.apps[fid] = AppRecord(
-            fid=fid,
-            pattern=pattern,
-            mutant=best,
-            arrival=arrival,
-            demand_by_stage=dict(best_demands),
-        )
-        after = self._layout_snapshot(best_demands.keys())
+            shadows[stage].add(fid, demand, planned_arrival)
+        after = {stage: shadows[stage].layout() for stage in shadows}
         regions, reallocations = self._diff_layouts(fid, before, after)
         assign_seconds = time.perf_counter() - assign_start
-        decision = AllocationDecision(
-            success=True,
+        return AllocationPlan(
             fid=fid,
+            pattern=pattern,
+            feasible=True,
             mutant=best,
+            demand_by_stage=dict(best_demands),
             regions=regions,
             reallocations=reallocations,
             candidates_considered=considered,
             candidates_feasible=feasible,
             search_seconds=search_seconds,
             assign_seconds=assign_seconds,
+            basis_version=self._version,
+            planned_arrival=planned_arrival,
         )
-        self._record_decision(decision)
-        return decision
+
+    def commit(
+        self, plan: AllocationPlan, record: bool = True
+    ) -> CommitResult:
+        """Apply a feasible plan to the real pools.
+
+        Validates the plan first: it must be PENDING, feasible, and
+        computed against the current state version (any commit, release,
+        or rollback since planning invalidates it).  Returns a
+        :class:`CommitResult` whose checkpoint allows an exact undo via
+        :meth:`rollback`.
+
+        Args:
+            plan: the plan to apply.
+            record: publish decision telemetry now.  Two-phase callers
+                (the controller) pass False and call
+                :meth:`record_decision` only once the switch-side
+                updates have also succeeded, so rolled-back admissions
+                never pollute the decision counters.
+        """
+        if plan.state is not PlanState.PENDING:
+            raise TransactionError(
+                f"plan for fid {plan.fid} already {plan.state.value}"
+            )
+        if not plan.feasible:
+            raise TransactionError(
+                f"cannot commit infeasible plan for fid {plan.fid}"
+            )
+        if plan.basis_version != self._version:
+            raise TransactionError(
+                f"stale plan for fid {plan.fid}: computed against version "
+                f"{plan.basis_version}, allocator is at {self._version}"
+            )
+        apply_start = time.perf_counter()
+        checkpoint = self._checkpoint(plan.demand_by_stage.keys())
+        self._arrival_counter += 1
+        arrival = self._arrival_counter
+        assert arrival == plan.planned_arrival
+        for stage, demand in plan.demand_by_stage.items():
+            self.pools[stage].add(plan.fid, demand, arrival)
+        self.apps[plan.fid] = AppRecord(
+            fid=plan.fid,
+            pattern=plan.pattern,
+            mutant=plan.mutant,
+            arrival=arrival,
+            demand_by_stage=dict(plan.demand_by_stage),
+        )
+        self._version += 1
+        plan.state = PlanState.COMMITTED
+        apply_seconds = time.perf_counter() - apply_start
+        decision = self.decision_from_plan(plan)
+        decision.assign_seconds += apply_seconds
+        if record:
+            self.record_decision(decision)
+        return CommitResult(
+            plan=plan,
+            decision=decision,
+            checkpoint=checkpoint,
+            apply_seconds=apply_seconds,
+        )
+
+    def abort(self, plan: AllocationPlan) -> None:
+        """Discard a pending plan.  Nothing to undo: plans are pure."""
+        if plan.state is PlanState.COMMITTED:
+            raise TransactionError(
+                f"plan for fid {plan.fid} is committed; use rollback()"
+            )
+        plan.state = PlanState.ABORTED
+
+    def rollback(self, result: CommitResult) -> None:
+        """Undo a committed plan, restoring exact pre-commit state.
+
+        Pools are restored from the checkpoint's byte-identical
+        snapshots (not by release-and-relayout), the arrival counter
+        and version stamps rewind, and the app record disappears.  The
+        only telemetry touched is ``allocator_rollbacks_total`` -- a
+        rollback is not a release and moves no client state.
+        """
+        plan = result.plan
+        if plan.state is not PlanState.COMMITTED:
+            raise TransactionError(
+                f"plan for fid {plan.fid} is {plan.state.value}, "
+                "not committed; nothing to roll back"
+            )
+        self.apps.pop(plan.fid, None)
+        for stage, snapshot in result.checkpoint.pools.items():
+            snapshot.restore(self.pools[stage])
+        self._arrival_counter = result.checkpoint.arrival_counter
+        self._version = result.checkpoint.version
+        plan.state = PlanState.ABORTED
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "allocator_rollbacks_total",
+                help="Committed admissions undone after switch-side failure",
+            ).inc()
+
+    def allocate(self, fid: int, pattern: AccessPattern) -> AllocationDecision:
+        """Attempt to admit *fid* with the given access pattern.
+
+        Legacy single-call admission: exactly ``plan()`` followed by
+        ``commit()`` (or ``abort()`` when infeasible), returning the
+        same :class:`AllocationDecision` either way.
+        """
+        plan = self.plan(fid, pattern)
+        if not plan.feasible:
+            self.abort(plan)
+            decision = self.decision_from_plan(plan)
+            self.record_decision(decision)
+            return decision
+        return self.commit(plan).decision
+
+    def decision_from_plan(self, plan: AllocationPlan) -> AllocationDecision:
+        """Materialize the decision a plan describes (copies, not views)."""
+        return AllocationDecision(
+            success=plan.feasible,
+            fid=plan.fid,
+            reason=plan.reason,
+            mutant=plan.mutant,
+            regions=dict(plan.regions),
+            reallocations={
+                fid: dict(per_stage)
+                for fid, per_stage in plan.reallocations.items()
+            },
+            candidates_considered=plan.candidates_considered,
+            candidates_feasible=plan.candidates_feasible,
+            search_seconds=plan.search_seconds,
+            assign_seconds=plan.assign_seconds,
+        )
 
     def release(self, fid: int) -> ReallocationMap:
         """Remove an application; elastic co-residents expand.
@@ -217,6 +377,7 @@ class ActiveRmtAllocator:
         before = self._layout_snapshot(stages)
         for stage in stages:
             self.pools[stage].remove(fid)
+        self._version += 1
         after = self._layout_snapshot(stages)
         _regions, reallocations = self._diff_layouts(fid, before, after)
         tel = self.telemetry
@@ -287,7 +448,18 @@ class ActiveRmtAllocator:
     # Internals
     # ------------------------------------------------------------------
 
-    def _record_decision(self, decision: AllocationDecision) -> None:
+    def _checkpoint(self, stages: Iterable[int]) -> AllocatorCheckpoint:
+        """Exact pre-commit state for the stages a commit will touch."""
+        return AllocatorCheckpoint(
+            version=self._version,
+            arrival_counter=self._arrival_counter,
+            pools={
+                stage: PoolSnapshot.capture(self.pools[stage])
+                for stage in stages
+            },
+        )
+
+    def record_decision(self, decision: AllocationDecision) -> None:
         """Publish one admission attempt into the telemetry registry."""
         tel = self.telemetry
         if not tel.enabled:
@@ -343,14 +515,16 @@ class ActiveRmtAllocator:
                 return False
         return True
 
-    def _layout_snapshot(self, stages) -> Dict[int, Dict[int, BlockRange]]:
+    def _layout_snapshot(
+        self, stages: Iterable[int]
+    ) -> Dict[int, Mapping[int, BlockRange]]:
         return {stage: self.pools[stage].layout() for stage in stages}
 
     def _diff_layouts(
         self,
         new_fid: int,
-        before: Dict[int, Dict[int, BlockRange]],
-        after: Dict[int, Dict[int, BlockRange]],
+        before: Mapping[int, Mapping[int, BlockRange]],
+        after: Mapping[int, Mapping[int, BlockRange]],
     ) -> Tuple[Dict[int, BlockRange], ReallocationMap]:
         regions: Dict[int, BlockRange] = {}
         reallocations: ReallocationMap = {}

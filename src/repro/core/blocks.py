@@ -11,7 +11,8 @@ filling, laid out deterministically above the pinned region.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+import types
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.fairness import progressive_fill
 from repro.packets.headers import StageRegion
@@ -58,7 +59,7 @@ class StagePool:
             raise ValueError("stage must hold at least one block")
         self.total_blocks = total_blocks
         self._residents: Dict[int, _Resident] = {}
-        self._layout_cache: Optional[Dict[int, BlockRange]] = None
+        self._layout_cache: Optional[Mapping[int, BlockRange]] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -75,6 +76,47 @@ class StagePool:
 
     def remove(self, fid: int) -> None:
         self._residents.pop(fid, None)
+        self._layout_cache = None
+
+    # ------------------------------------------------------------------
+    # Transactional support (shadow planning + exact snapshot/restore)
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "StagePool":
+        """Independent copy for copy-on-write shadow planning.
+
+        The clone shares nothing mutable with the original: planners
+        add/remove residents on it freely without the real pool (or its
+        cached layout) ever observing the search.
+        """
+        twin = StagePool(self.total_blocks)
+        twin._residents = {
+            fid: dataclasses.replace(resident)
+            for fid, resident in self._residents.items()
+        }
+        return twin
+
+    def export_residents(self) -> Tuple[Tuple[int, bool, Optional[int], int], ...]:
+        """The full population as ``(fid, elastic, demand, arrival)``
+        tuples in arrival order -- the exact state a
+        :class:`~repro.core.transactions.PoolSnapshot` captures."""
+        ordered = sorted(self._residents.values(), key=lambda r: r.arrival)
+        return tuple(
+            (r.fid, r.elastic, r.demand, r.arrival) for r in ordered
+        )
+
+    def load_residents(
+        self, residents: Tuple[Tuple[int, bool, Optional[int], int], ...]
+    ) -> None:
+        """Replace the population with a previously exported one.
+
+        Restores byte-identical layouts: the deterministic layout is a
+        pure function of the (fid, elastic, demand, arrival) set.
+        """
+        self._residents = {
+            fid: _Resident(fid=fid, elastic=elastic, demand=demand, arrival=arrival)
+            for fid, elastic, demand, arrival in residents
+        }
         self._layout_cache = None
 
     def __contains__(self, fid: int) -> bool:
@@ -147,15 +189,17 @@ class StagePool:
     # Layout
     # ------------------------------------------------------------------
 
-    def layout(self) -> Dict[int, BlockRange]:
+    def layout(self) -> Mapping[int, BlockRange]:
         """Deterministic block layout for the current population.
 
         Inelastic residents sit at the bottom in arrival order; elastic
         residents share the remainder by progressive filling, placed
         above the pinned region in arrival order.
 
-        The result is cached until the population changes; treat the
-        returned mapping as read-only.
+        The result is cached until the population changes and returned
+        as an immutable mapping view: callers can hold it across later
+        pool mutations (the cache is replaced, never mutated in place)
+        but cannot corrupt the pool through it.
         """
         if self._layout_cache is not None:
             return self._layout_cache
@@ -187,8 +231,8 @@ class StagePool:
             raise AssertionError(
                 f"layout overflow: {cursor} > {self.total_blocks}"
             )
-        self._layout_cache = ranges
-        return ranges
+        self._layout_cache = types.MappingProxyType(ranges)
+        return self._layout_cache
 
     def range_for(self, fid: int) -> Optional[BlockRange]:
         return self.layout().get(fid)

@@ -16,7 +16,7 @@ most compact mutant first).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.core.blocks import StagePool
 from repro.core.mutants import MutantCandidate

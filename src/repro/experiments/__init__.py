@@ -20,4 +20,5 @@ and a ``format_result`` used by the CLI.
 | fig12       | allocation time vs block granularity       |
 | mutants     | Section 6.1 mutant census                  |
 | overheads   | Section 5 / 6.2 baseline comparisons       |
+| whatif      | (not a figure) dry-run admission probing   |
 """

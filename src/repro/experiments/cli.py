@@ -115,6 +115,12 @@ def _ablation(quick: bool) -> str:
     return ablation_mutants.main(arrivals=40 if quick else 100)
 
 
+def _whatif(quick: bool) -> str:
+    from repro.experiments import whatif
+
+    return whatif.main(arrivals=20 if quick else 60)
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -127,6 +133,9 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig12": _fig12,
     "tables": _tables,
     "ablation": _ablation,
+    # Not a paper figure: dry-run admission probing enabled by the
+    # transactional control plane (plans are free until committed).
+    "whatif": _whatif,
 }
 
 

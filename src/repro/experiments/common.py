@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.apps.base import EXEMPLAR_APPS, app_by_name
+from repro.apps.base import EXEMPLAR_APPS
 from repro.controller.controller import ActiveRmtController, ProvisioningReport
 from repro.core.constraints import (
     AllocationPolicy,

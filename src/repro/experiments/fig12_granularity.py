@@ -12,7 +12,7 @@ blocks exhaust stage memory sooner).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import dataclasses as _dc
 

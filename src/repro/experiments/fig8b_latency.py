@@ -8,7 +8,7 @@ an echo baseline; latency grows linearly with the passes consumed
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict
 
 from repro.isa.assembler import assemble
 from repro.packets.codec import ActivePacket

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 #: EtherType of the active encapsulation ("a special VLAN tag").
 ACTIVE_ETHERTYPE = 0x83B2

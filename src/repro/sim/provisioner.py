@@ -91,6 +91,10 @@ class SimProvisioner:
                 "snapshot_seconds": report.snapshot_seconds,
                 "table_update_seconds": report.table_update_seconds,
                 "reallocated": report.reallocated_fids,
+                # Distinguishes "no feasible mutant" denials from
+                # admissions that were committed and then exactly
+                # undone when the switch rejected the table updates.
+                "rolled_back": report.rolled_back,
             }
         )
         pipeline = self.controller.switch.pipeline

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from repro.packets.codec import ActivePacket
 from repro.packets.headers import ControlFlags

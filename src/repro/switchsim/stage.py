@@ -15,7 +15,7 @@ from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.packets.codec import ActivePacket
 from repro.switchsim.hashing import HashUnit, hash_engine
-from repro.switchsim.phv import Phv, u32
+from repro.switchsim.phv import Phv
 from repro.switchsim.registers import RegisterArray
 from repro.switchsim.tables import StageGrant, StageTable
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import CacheClient, cache_pattern, cache_query_program
 from repro.apps.cache import key_words
-from repro.client import ActiveCompiler, ClientShim
+from repro.client import ClientShim
 from repro.controller import ActiveRmtController
 from repro.packets import MacAddress
 from repro.switchsim import ActiveSwitch

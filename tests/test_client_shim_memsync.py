@@ -15,7 +15,7 @@ from repro.client import (
 from repro.client.memsync import MemSyncError, multi_read_slots
 from repro.controller import ActiveRmtController
 from repro.isa import assemble
-from repro.packets import ControlFlags, MacAddress, PacketType
+from repro.packets import ControlFlags, MacAddress
 from repro.switchsim import ActiveSwitch, StageGrant
 
 from tests.test_core_constraints import LISTING_1

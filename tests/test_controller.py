@@ -8,7 +8,7 @@ from repro.controller import (
     TableUpdateEngine,
     TableUpdateCost,
 )
-from repro.core import AccessPattern, BlockRange
+from repro.core import BlockRange
 from repro.packets import (
     ActivePacket,
     ControlFlags,

@@ -97,6 +97,47 @@ def test_membership_and_listing():
     assert pool.elastic_fids == [5]
 
 
+def test_layout_view_is_immutable():
+    """layout() hands out a read-only view; callers cannot corrupt the
+    allocator's cached layout by mutating the returned mapping."""
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=1, demand=2, arrival=1)
+    layout = pool.layout()
+    with pytest.raises(TypeError):
+        layout[99] = BlockRange(0, 1)
+    with pytest.raises(TypeError):
+        del layout[1]
+    # Views held before a mutation are stable snapshots: the pool
+    # replaces (never edits) its cache on invalidation.
+    pool.add(fid=2, demand=None, arrival=2)
+    assert 2 not in layout
+    assert 2 in pool.layout()
+
+
+def test_clone_is_independent():
+    """clone() gives a copy-on-write shadow: planning against the clone
+    never disturbs the original pool."""
+    pool = StagePool(total_blocks=8)
+    pool.add(fid=1, demand=3, arrival=1)
+    shadow = pool.clone()
+    shadow.add(fid=2, demand=None, arrival=2)
+    shadow.remove(1)
+    assert pool.fids == [1]
+    assert dict(pool.layout()) == {1: BlockRange(0, 3)}
+    assert shadow.fids == [2]
+
+
+def test_export_load_residents_round_trip():
+    pool = StagePool(total_blocks=16)
+    pool.add(fid=3, demand=4, arrival=1)
+    pool.add(fid=7, demand=None, arrival=2)
+    exported = pool.export_residents()
+    other = StagePool(total_blocks=16)
+    other.load_residents(exported)
+    assert dict(other.layout()) == dict(pool.layout())
+    assert other.export_residents() == exported
+
+
 @given(
     entries=st.lists(
         st.tuples(st.one_of(st.none(), st.integers(1, 8)), st.booleans()),

@@ -1,7 +1,5 @@
 """Unit tests for the opcode space."""
 
-import pytest
-
 from repro.isa import (
     Opcode,
     OpcodeClass,

@@ -84,7 +84,7 @@ def _build_world(num_clients=1, request_interval_s=200e-6, batch_window_s=None):
     network = SimNetwork(loop, switch, batch_window_s=batch_window_s)
     server = KVServerHost(SERVER, loop=loop)
     network.attach(server, 2)
-    provisioner = SimProvisioner(loop, network, controller, horizon_s=60.0)
+    _provisioner = SimProvisioner(loop, network, controller, horizon_s=60.0)
     clients = []
     for index in range(num_clients):
         workload = ZipfKeyGenerator(num_keys=5000, alpha=0.99, seed=index)

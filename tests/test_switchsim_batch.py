@@ -8,7 +8,7 @@ statistics, same digest queue -- only the bookkeeping is amortized.
 import pytest
 
 from repro.isa import assemble
-from repro.packets import ActivePacket, ControlFlags, MacAddress
+from repro.packets import ActivePacket, MacAddress
 from repro.packets.codec import encode_packet
 from repro.switchsim import (
     ActiveSwitch,

@@ -6,8 +6,8 @@ through the simulated pipeline with manually installed grants.
 
 import pytest
 
-from repro.isa import Instruction, Opcode, assemble
-from repro.packets import ActivePacket, ControlFlags, MacAddress
+from repro.isa import assemble
+from repro.packets import ActivePacket, MacAddress
 from repro.switchsim import (
     PacketDisposition,
     Pipeline,

@@ -10,8 +10,6 @@ validator.  Also exercises the experiments CLI's ``--stats-out``.
 
 import json
 
-import pytest
-
 from repro import telemetry
 from repro.apps.base import EXEMPLAR_APPS
 from repro.controller.controller import ActiveRmtController

@@ -166,6 +166,66 @@ def test_hotpath_throughput_speedup():
         )
 
 
+def test_verifier_compile_overhead():
+    """Static verification must stay cheap on the compile path.
+
+    ``compile_mutant`` runs in the allocation-response handler, so the
+    default-on ``warn`` verification rides on a latency-sensitive path.
+    This pins its cost: full analysis (CFG + dataflow + region checks)
+    adds less than 20% to the verify-off compile time.  Smoke mode
+    still compiles both ways (exercising the verifier) but skips the
+    ratio gate, matching the other timing tests.
+    """
+    from repro.client import compile_mutant
+    from repro.packets import AllocationResponseHeader, StageRegion
+
+    repeats = 50 if SMOKE else 300
+    trials = 2 if SMOKE else 7
+    program = MUTANTS[0]  # cache-query: 3 accesses, branches, RTS
+    response = AllocationResponseHeader.from_map(
+        {2: StageRegion(0, 1024), 5: StageRegion(0, 1024), 9: StageRegion(0, 1024)}
+    )
+
+    def _compile_loop(verify):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            synthesized = compile_mutant(program, response, verify=verify)
+        return time.perf_counter() - start, synthesized
+
+    # Warm-up both paths (imports, first-call analysis caches).
+    _compile_loop("off")
+    _compile_loop("warn")
+
+    # Paired trials: each off/warn pair runs back-to-back under the
+    # same machine load, so the per-trial ratio cancels drift; the
+    # median ratio then discards outlier windows entirely.
+    ratios = []
+    off_seconds = warn_seconds = 0.0
+    for _ in range(trials):
+        off_seconds, off_result = _compile_loop("off")
+        warn_seconds, warn_result = _compile_loop("warn")
+        ratios.append(warn_seconds / off_seconds)
+
+    # Same linked program either way; warn additionally carries a report.
+    assert warn_result.program == off_result.program
+    assert warn_result.mutant == off_result.mutant
+    assert off_result.report is None
+    assert warn_result.report is not None and not warn_result.report.has_errors
+
+    overhead = sorted(ratios)[len(ratios) // 2] - 1.0
+    print(
+        f"\nverifier: compile off {off_seconds / repeats * 1e6:,.0f} us / "
+        f"warn {warn_seconds / repeats * 1e6:,.0f} us "
+        f"(+{overhead:.1%})"
+    )
+    if not SMOKE:
+        assert overhead < 0.20, (
+            f"verification added {overhead:.1%} to compile_mutant "
+            f"({warn_seconds / repeats * 1e6:,.0f} vs "
+            f"{off_seconds / repeats * 1e6:,.0f} us)"
+        )
+
+
 def test_telemetry_overhead():
     """Disabled telemetry must stay ~free; 0%-sampling must stay cheap.
 

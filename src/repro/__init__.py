@@ -39,6 +39,16 @@ Telemetry (off by default, zero-cost when off)::
     print(prometheus_text(registry))
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    VerificationError,
+    VerifyMode,
+    analyze_program,
+    verify_linked,
+    verify_plan,
+)
 from repro.client.compiler import (
     ActiveCompiler,
     CompilationError,
@@ -104,6 +114,15 @@ __all__ = [
     "CompilationError",
     "SynthesizedProgram",
     "compile_mutant",
+    # Static verification
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "VerificationError",
+    "VerifyMode",
+    "analyze_program",
+    "verify_linked",
+    "verify_plan",
     # Telemetry
     "MetricsRegistry",
     "NullRegistry",

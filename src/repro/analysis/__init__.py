@@ -1,11 +1,76 @@
-"""Statistics helpers used across experiments."""
+"""Static analysis: the capsule verifier, plus statistics helpers.
 
+The verifier (``findings``/``cfg``/``dataflow``/``verifier``/``lint``)
+proves safety properties of active programs before they touch a
+switch; the stats helpers predate it and remain re-exported for the
+experiments.
+"""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dataflow import (
+    AbstractState,
+    DataflowResult,
+    MarValue,
+    analyze_dataflow,
+)
+from repro.analysis.findings import (
+    RULES,
+    AnalysisReport,
+    Finding,
+    Rule,
+    Severity,
+    VerificationError,
+    VerifyMode,
+    record_report,
+    summarize_reports,
+)
+from repro.analysis.lint import catalog_reports, lint_catalog
 from repro.analysis.stats import (
+    Summary,
     ewma,
     percentile,
     summarize,
-    Summary,
     windowed_rate,
 )
+from repro.analysis.verifier import (
+    DEFAULT_TRANSLATION_WINDOW,
+    analyze_many,
+    analyze_program,
+    linked_verdict,
+    require,
+    verify_linked,
+    verify_plan,
+)
 
-__all__ = ["ewma", "percentile", "summarize", "Summary", "windowed_rate"]
+__all__ = [
+    # verifier
+    "AbstractState",
+    "AnalysisReport",
+    "ControlFlowGraph",
+    "DataflowResult",
+    "DEFAULT_TRANSLATION_WINDOW",
+    "Finding",
+    "MarValue",
+    "RULES",
+    "Rule",
+    "Severity",
+    "VerificationError",
+    "VerifyMode",
+    "analyze_dataflow",
+    "analyze_many",
+    "analyze_program",
+    "catalog_reports",
+    "lint_catalog",
+    "linked_verdict",
+    "record_report",
+    "require",
+    "summarize_reports",
+    "verify_linked",
+    "verify_plan",
+    # statistics helpers
+    "Summary",
+    "ewma",
+    "percentile",
+    "summarize",
+    "windowed_rate",
+]

@@ -1,0 +1,278 @@
+"""Abstract interpretation of the PHV over an active program's CFG.
+
+The pass tracks, per program position, a small abstract state:
+
+- **MAR provenance** -- a flat lattice recording *where the memory
+  address came from*: never written, a client argument, a raw hash
+  digest, a hash masked by ``ADDR_MASK``, a fully translated
+  (masked + offset) address, or an arbitrary computed value.  This is
+  what lets the memory-safety pass distinguish "provably lands in the
+  granted region" (translated), "provably faults" (raw hash), and
+  "only the runtime TCAM can tell" (argument/computed).
+- **MBR/MBR2 written-ness** -- must-analysis: a register counts as
+  written only when every path to the position wrote it, so a read of
+  a maybe-unwritten register is reported (ARMT002) without false
+  negatives.
+- **hashdata depth** -- minimum number of words pushed, to catch
+  ``HASH`` over empty hash input.
+
+Joins happen at label targets (the only merge points on a forward-only
+pipeline); ascending-position iteration reaches the fixpoint in one
+sweep because every edge goes forward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.findings import Finding
+from repro.isa.opcodes import MEMORY_OPCODES, Opcode
+from repro.isa.program import ActiveProgram
+
+
+class MarValue(enum.Enum):
+    """Provenance of the memory address register at one point."""
+
+    UNWRITTEN = "unwritten"  # parser zero-initialisation
+    ARG = "arg"  # MAR_LOAD from a client argument slot
+    HASH_RAW = "hash-raw"  # HASH digest, unmasked
+    HASH_MASKED = "hash-masked"  # digest after ADDR_MASK, no offset yet
+    TRANSLATED = "translated"  # masked + offset: inside the region
+    COMPUTED = "computed"  # arithmetic over registers
+    UNKNOWN = "unknown"  # join of disagreeing paths
+
+
+def _join_mar(a: MarValue, b: MarValue) -> MarValue:
+    return a if a is b else MarValue.UNKNOWN
+
+
+@dataclasses.dataclass(frozen=True)
+class AbstractState:
+    """PHV abstraction at one program point."""
+
+    mar: MarValue = MarValue.UNWRITTEN
+    mbr_written: bool = False
+    mbr2_written: bool = False
+    hashdata_depth: int = 0
+
+    def join(self, other: "AbstractState") -> "AbstractState":
+        return AbstractState(
+            mar=_join_mar(self.mar, other.mar),
+            mbr_written=self.mbr_written and other.mbr_written,
+            mbr2_written=self.mbr2_written and other.mbr2_written,
+            hashdata_depth=min(self.hashdata_depth, other.hashdata_depth),
+        )
+
+
+#: Opcodes that read MBR before (possibly) writing it.
+_READS_MBR = frozenset(
+    {
+        Opcode.MBR_STORE,
+        Opcode.COPY_MBR2_MBR,
+        Opcode.COPY_HASHDATA_MBR,
+        Opcode.MBR_ADD_MBR2,
+        Opcode.MAR_ADD_MBR,
+        Opcode.MAR_MBR_ADD_MBR2,
+        Opcode.MBR_SUBTRACT_MBR2,
+        Opcode.BIT_AND_MAR_MBR,
+        Opcode.BIT_OR_MBR_MBR2,
+        Opcode.MBR_EQUALS_MBR2,
+        Opcode.MBR_EQUALS_DATA_1,
+        Opcode.MBR_EQUALS_DATA_2,
+        Opcode.MAX,
+        Opcode.MIN,
+        Opcode.REVMIN,
+        Opcode.SWAP_MBR_MBR2,
+        Opcode.MBR_NOT,
+        Opcode.CRET,
+        Opcode.CRETI,
+        Opcode.CJUMP,
+        Opcode.CJUMPI,
+        Opcode.CRTS,
+        Opcode.SET_DST,
+        Opcode.MEM_WRITE,
+        Opcode.MEM_MINREAD,
+    }
+)
+
+#: Opcodes that write MBR.
+_WRITES_MBR = frozenset(
+    {
+        Opcode.MBR_LOAD,
+        Opcode.COPY_MBR_MBR2,
+        Opcode.COPY_MBR_MAR,
+        Opcode.MBR_ADD_MBR2,
+        Opcode.MBR_SUBTRACT_MBR2,
+        Opcode.BIT_OR_MBR_MBR2,
+        Opcode.MBR_EQUALS_MBR2,
+        Opcode.MBR_EQUALS_DATA_1,
+        Opcode.MBR_EQUALS_DATA_2,
+        Opcode.MAX,
+        Opcode.MIN,
+        Opcode.SWAP_MBR_MBR2,
+        Opcode.MBR_NOT,
+        Opcode.MEM_READ,
+        Opcode.MEM_INCREMENT,
+        Opcode.MEM_MINREAD,
+        Opcode.MEM_MINREADINC,
+    }
+)
+
+#: Opcodes that read MBR2 before (possibly) writing it.
+_READS_MBR2 = frozenset(
+    {
+        Opcode.COPY_MBR_MBR2,
+        Opcode.COPY_HASHDATA_MBR2,
+        Opcode.MBR_ADD_MBR2,
+        Opcode.MAR_ADD_MBR2,
+        Opcode.MAR_MBR_ADD_MBR2,
+        Opcode.MBR_SUBTRACT_MBR2,
+        Opcode.BIT_OR_MBR_MBR2,
+        Opcode.MBR_EQUALS_MBR2,
+        Opcode.MAX,
+        Opcode.MIN,
+        Opcode.REVMIN,
+        Opcode.SWAP_MBR_MBR2,
+        Opcode.MEM_MINREADINC,
+    }
+)
+
+#: Opcodes that write MBR2.
+_WRITES_MBR2 = frozenset(
+    {
+        Opcode.MBR2_LOAD,
+        Opcode.COPY_MBR2_MBR,
+        Opcode.REVMIN,
+        Opcode.SWAP_MBR_MBR2,
+        Opcode.MEM_MINREADINC,
+    }
+)
+
+@dataclasses.dataclass(frozen=True)
+class DataflowResult:
+    """Per-position entry states plus the register-use diagnostics."""
+
+    entry_states: Dict[int, AbstractState]
+    findings: Tuple[Finding, ...]
+
+    def mar_at(self, position: int) -> MarValue:
+        """MAR provenance on entry to a 1-indexed position (UNKNOWN if
+        the position was unreachable)."""
+        state = self.entry_states.get(position)
+        return state.mar if state is not None else MarValue.UNKNOWN
+
+
+def _transfer_mar(state: AbstractState, op: Opcode) -> MarValue:
+    """New MAR provenance after executing *op*."""
+    if op is Opcode.MAR_LOAD:
+        return MarValue.ARG
+    if op is Opcode.HASH:
+        return MarValue.HASH_RAW
+    if op is Opcode.ADDR_MASK:
+        if state.mar in (MarValue.HASH_RAW, MarValue.HASH_MASKED):
+            return MarValue.HASH_MASKED
+        return MarValue.COMPUTED
+    if op is Opcode.ADDR_OFFSET:
+        if state.mar is MarValue.HASH_MASKED:
+            return MarValue.TRANSLATED
+        return MarValue.COMPUTED
+    if op in (
+        Opcode.COPY_MAR_MBR,
+        Opcode.MAR_ADD_MBR,
+        Opcode.MAR_ADD_MBR2,
+        Opcode.MAR_MBR_ADD_MBR2,
+        Opcode.BIT_AND_MAR_MBR,
+    ):
+        return MarValue.COMPUTED
+    return state.mar
+
+
+def analyze_dataflow(
+    program: ActiveProgram, cfg: Optional[ControlFlowGraph] = None
+) -> DataflowResult:
+    """Run the abstract interpretation; returns entry states + findings.
+
+    Findings emitted here are all ARMT002 (undefined reads / empty
+    hashdata); address-safety rules consume :meth:`DataflowResult.mar_at`
+    from the verifier instead, where region knowledge is available.
+    """
+    graph = cfg if cfg is not None else ControlFlowGraph.build(program)
+    entry: Dict[int, AbstractState] = {}
+    findings: List[Finding] = []
+    if graph.num_positions:
+        entry[1] = AbstractState()
+    # Ascending-position sweep: every CFG edge points forward, so each
+    # position's entry state is final before it is visited.
+    for idx, instr in enumerate(program):
+        position = idx + 1
+        state = entry.get(position)
+        if state is None or position not in graph.reachable:
+            continue  # unreachable: reported by the CFG pass, not here
+        op = instr.opcode
+        findings.extend(_register_findings(state, op, position))
+        new_state = AbstractState(
+            mar=_transfer_mar(state, op),
+            mbr_written=state.mbr_written or op in _WRITES_MBR,
+            mbr2_written=state.mbr2_written or op in _WRITES_MBR2,
+            hashdata_depth=state.hashdata_depth
+            + (
+                1
+                if op in (Opcode.COPY_HASHDATA_MBR, Opcode.COPY_HASHDATA_MBR2)
+                else 0
+            ),
+        )
+        for successor in graph.successors[position]:
+            incoming = entry.get(successor)
+            entry[successor] = (
+                new_state if incoming is None else incoming.join(new_state)
+            )
+    return DataflowResult(entry_states=entry, findings=tuple(findings))
+
+
+def _register_findings(
+    state: AbstractState, op: Opcode, position: int
+) -> List[Finding]:
+    """ARMT002 diagnostics for one instruction's register reads."""
+    found: List[Finding] = []
+    if op in _READS_MBR and not state.mbr_written:
+        found.append(
+            Finding.of(
+                "ARMT002",
+                f"{op.name} at {position} reads MBR, which no path has "
+                "written (value is the parser's zero)",
+                position=position,
+            )
+        )
+    if op in _READS_MBR2 and not state.mbr2_written:
+        found.append(
+            Finding.of(
+                "ARMT002",
+                f"{op.name} at {position} reads MBR2, which no path has "
+                "written (value is the parser's zero)",
+                position=position,
+            )
+        )
+    if op is Opcode.HASH and state.hashdata_depth == 0:
+        found.append(
+            Finding.of(
+                "ARMT002",
+                f"HASH at {position} runs over empty hashdata; the digest "
+                "is a constant (no COPY_HASHDATA_* precedes it)",
+                position=position,
+            )
+        )
+    if (
+        op in MEMORY_OPCODES or op in (Opcode.ADDR_MASK, Opcode.ADDR_OFFSET)
+    ) and state.mar is MarValue.UNWRITTEN:
+        found.append(
+            Finding.of(
+                "ARMT002",
+                f"{op.name} at {position} consumes MAR before any "
+                "instruction writes it (address is always 0)",
+                position=position,
+            )
+        )
+    return found

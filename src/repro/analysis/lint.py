@@ -1,0 +1,71 @@
+"""Offline audit of the bundled app catalog (the ``lint`` CLI).
+
+Runs :func:`repro.analysis.verifier.analyze_program` over every
+program in :mod:`repro.apps` -- the three exemplar applications plus
+the load balancer's stateless routing companion -- and packages the
+reports for the CLI and the CI smoke job.
+
+Imports of :mod:`repro.apps` are deferred into the function body: apps
+import the client compiler, which imports this package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import AnalysisReport, summarize_reports
+from repro.analysis.verifier import analyze_program
+from repro.switchsim.config import SwitchConfig
+
+
+def catalog_reports(
+    names: Optional[List[str]] = None,
+    config: Optional[SwitchConfig] = None,
+) -> Dict[str, AnalysisReport]:
+    """Analyze the app catalog; returns ``{name: report}``.
+
+    *names* restricts the audit to a subset of catalog entries
+    (unknown names raise ``KeyError`` via the registry).
+    """
+    from repro.apps.base import EXEMPLAR_APPS, app_by_name
+    from repro.apps.cheetah_lb import lb_routing_program
+
+    cfg = config or SwitchConfig()
+    reports: Dict[str, AnalysisReport] = {}
+    selected = (
+        [app_by_name(name) for name in names]
+        if names is not None
+        else list(EXEMPLAR_APPS.values())
+    )
+    for spec in selected:
+        reports[spec.name] = analyze_program(
+            spec.program(), cfg, pattern=spec.pattern()
+        )
+    if names is None:
+        # The routing program is not a registry entry (it requests no
+        # memory, so it has no allocation pattern) but ships in the
+        # catalog and deserves the same audit.
+        routing = lb_routing_program()
+        reports[routing.name] = analyze_program(routing, cfg)
+    return reports
+
+
+def lint_catalog(
+    names: Optional[List[str]] = None,
+    config: Optional[SwitchConfig] = None,
+) -> Tuple[str, Dict[str, object], int]:
+    """Full lint run: ``(text_output, json_payload, exit_code)``.
+
+    Exit code 1 iff any report carries an error-severity finding --
+    the contract the CI smoke job relies on.
+    """
+    reports = catalog_reports(names, config)
+    lines = [reports[name].format_text() for name in sorted(reports)]
+    payload = summarize_reports(reports)
+    total_errors = sum(len(r.errors) for r in reports.values())
+    lines.append(
+        f"\n{len(reports)} program(s) audited: {total_errors} error(s), "
+        f"{sum(len(r.warnings) for r in reports.values())} warning(s), "
+        f"{sum(len(r.infos) for r in reports.values())} info"
+    )
+    return "\n".join(lines), payload, 1 if total_errors else 0

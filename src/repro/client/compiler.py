@@ -14,8 +14,10 @@ Given a compact active program, the compiler:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.analysis.findings import AnalysisReport, VerifyMode
+from repro.analysis.verifier import analyze_program, linked_verdict
 from repro.core.constraints import (
     AccessPattern,
     AllocationPolicy,
@@ -31,6 +33,13 @@ class CompilationError(Exception):
     """Raised when no mutant matches the granted allocation."""
 
 
+#: Shared default device model: ``compile_mutant`` runs once per
+#: allocation response, and a fresh config per call would defeat the
+#: verifier's memoization (cache keys would hash a new object each
+#: probe).  SwitchConfig is immutable, so one instance serves all.
+_DEFAULT_CONFIG = SwitchConfig()
+
+
 @dataclasses.dataclass(frozen=True)
 class SynthesizedProgram:
     """A mutant linked against a concrete allocation.
@@ -41,12 +50,19 @@ class SynthesizedProgram:
         regions: physical stage -> granted word region.
         access_stages: physical stage of each memory access, in program
             order (parallel to the pattern's access vectors).
+        report: the verifier's verdict on the linked program (None when
+            compiled with ``verify="off"``).  Excluded from equality:
+            two identically linked programs compare equal regardless of
+            whether they were verified.
     """
 
     program: ActiveProgram
     mutant: MutantCandidate
     regions: Dict[int, StageRegion]
     access_stages: Tuple[int, ...]
+    report: Optional[AnalysisReport] = dataclasses.field(
+        default=None, compare=False
+    )
 
     def translate(self, access_index: int, logical_index: int) -> int:
         """Map an access's logical word index into its physical region.
@@ -79,11 +95,26 @@ class ActiveCompiler:
         self,
         config: Optional[SwitchConfig] = None,
         synthesis_policy: Optional[AllocationPolicy] = None,
+        verify: Union[VerifyMode, str] = VerifyMode.WARN,
     ) -> None:
-        self.config = config or SwitchConfig()
+        self.config = config or _DEFAULT_CONFIG
         # Synthesis considers recirculating mutants too: the response
         # dictates the stages, and the client must reach them.
         self.synthesis_policy = synthesis_policy or LEAST_CONSTRAINED
+        #: Static-verification policy (fail fast before submission):
+        #: ``strict`` raises VerificationError on any error-severity
+        #: finding, ``warn`` attaches the report, ``off`` skips analysis.
+        self.verify = VerifyMode.coerce(verify)
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        program: ActiveProgram,
+        pattern: Optional[AccessPattern] = None,
+    ) -> AnalysisReport:
+        """Run the program-only verifier passes (lint entry point)."""
+        return analyze_program(program, self.config, pattern=pattern)
 
     # ------------------------------------------------------------------
 
@@ -142,13 +173,43 @@ class ActiveCompiler:
         access_stages = tuple(
             self.config.physical_stage(stage) for stage in best.stages
         )
+        regions = {stage: granted[stage] for stage in set(access_stages)}
+        report: Optional[AnalysisReport] = None
+        if self.verify is not VerifyMode.OFF:
+            # Raises VerificationError in strict mode on any
+            # error-severity finding, before the caller sees a result.
+            report = linked_verdict(
+                padded, tuple(regions.items()), self.config, self.verify
+            )
         return SynthesizedProgram(
             program=padded,
             mutant=best,
-            regions={
-                stage: granted[stage] for stage in set(access_stages)
-            },
+            regions=regions,
             access_stages=access_stages,
+            report=report,
+        )
+
+    def _verified(self, synthesized: SynthesizedProgram) -> SynthesizedProgram:
+        """Apply the compiler's verification policy to a linked program.
+
+        Raises:
+            VerificationError: in strict mode, when the linked program
+                carries any error-severity finding.
+        """
+        if self.verify is VerifyMode.OFF:
+            return synthesized
+        report = linked_verdict(
+            synthesized.program,
+            tuple(synthesized.regions.items()),
+            self.config,
+            self.verify,
+        )
+        return SynthesizedProgram(
+            program=synthesized.program,
+            mutant=synthesized.mutant,
+            regions=synthesized.regions,
+            access_stages=synthesized.access_stages,
+            report=report,
         )
 
     # ------------------------------------------------------------------
@@ -182,9 +243,13 @@ class ActiveCompiler:
                 f"reallocation removed stages {missing}; full "
                 "re-synthesis required"
             )
-        return dataclasses.replace(
-            synthesized,
-            regions={stage: granted[stage] for stage in synthesized.regions},
+        return self._verified(
+            dataclasses.replace(
+                synthesized,
+                regions={
+                    stage: granted[stage] for stage in synthesized.regions
+                },
+            )
         )
 
 
@@ -194,14 +259,16 @@ def compile_mutant(
     config: Optional[SwitchConfig] = None,
     demands: Optional[Sequence[Optional[int]]] = None,
     name: Optional[str] = None,
+    verify: Union[VerifyMode, str] = VerifyMode.WARN,
 ) -> SynthesizedProgram:
     """One-shot front door: derive the pattern and synthesize the mutant.
 
     Equivalent to ``ActiveCompiler(config).synthesize(program,
     derive_pattern(program, ...), response)`` -- the common case when a
     client already holds an allocation response and just wants the
-    linked program.
+    linked program.  *verify* selects the static-verification policy
+    (default ``warn``: the report rides on the result without blocking).
     """
-    compiler = ActiveCompiler(config)
+    compiler = ActiveCompiler(config, verify=verify)
     pattern = compiler.derive_pattern(program, demands=demands, name=name)
     return compiler.synthesize(program, pattern, response)

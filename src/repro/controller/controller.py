@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.analysis.findings import AnalysisReport, VerifyMode, record_report
+from repro.analysis.verifier import verify_plan
 from repro.core.allocator import (
     ActiveRmtAllocator,
     AllocationDecision,
@@ -32,6 +34,7 @@ from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRA
 from repro.core.schemes import AllocationScheme
 from repro.core.transactions import AllocationPlan, TableUpdateJournal
 from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
+from repro.isa.program import ActiveProgram
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
 from repro.packets.headers import ControlFlags, PacketType
@@ -86,13 +89,27 @@ class ProvisioningRequest:
     #: Plan only -- report what the admission would do without touching
     #: any allocator or switch state.
     dry_run: bool = False
+    #: The compact active program behind the admission, when the caller
+    #: holds it.  Lets the controller statically verify the mutant being
+    #: installed against its granted plan (paper section 5's admission
+    #: checks); wire-digested requests carry only the pattern, so there
+    #: verification is limited to pattern-level checks.
+    program: Optional[ActiveProgram] = None
 
     @classmethod
     def admission(
-        cls, fid: int, pattern: AccessPattern, dry_run: bool = False
+        cls,
+        fid: int,
+        pattern: AccessPattern,
+        dry_run: bool = False,
+        program: Optional[ActiveProgram] = None,
     ) -> "ProvisioningRequest":
         return cls(
-            kind=RequestKind.ADMIT, fid=fid, pattern=pattern, dry_run=dry_run
+            kind=RequestKind.ADMIT,
+            fid=fid,
+            pattern=pattern,
+            dry_run=dry_run,
+            program=program,
         )
 
     @classmethod
@@ -129,6 +146,10 @@ class ProvisioningReport:
     #: True when the admission was committed and then exactly undone
     #: because the switch rejected the table updates (TCAM exhaustion).
     rolled_back: bool = False
+    #: The static verifier's verdict on the mutant being installed
+    #: (None when the controller runs with ``verify="off"`` or the
+    #: request carried no program).
+    verification: Optional[AnalysisReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -154,9 +175,15 @@ class ActiveRmtController:
         table_cost: Optional[TableUpdateCost] = None,
         snapshot_cost: Optional[SnapshotCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        verify: Union[VerifyMode, str] = VerifyMode.WARN,
     ) -> None:
         self.switch = switch
         self.telemetry = resolve(telemetry)
+        #: Admission-time static verification policy: ``strict`` rejects
+        #: any error-severity finding before commit, ``warn`` (default)
+        #: records findings without blocking, ``off`` skips analysis
+        #: entirely (byte-identical to the pre-verifier admission path).
+        self.verify = VerifyMode.coerce(verify)
         self.allocator = ActiveRmtAllocator(
             switch.config, scheme=scheme, policy=policy, telemetry=self.telemetry
         )
@@ -193,7 +220,10 @@ class ActiveRmtController:
             if request.fid is None or request.pattern is None:
                 raise ControllerError("admission requires fid and pattern")
             return self._do_admit(
-                request.fid, request.pattern, dry_run=request.dry_run
+                request.fid,
+                request.pattern,
+                dry_run=request.dry_run,
+                program=request.program,
             )
         if request.kind is RequestKind.WITHDRAW:
             if request.fid is None:
@@ -210,7 +240,11 @@ class ActiveRmtController:
     # ------------------------------------------------------------------
 
     def admit(
-        self, fid: int, pattern: AccessPattern, dry_run: bool = False
+        self,
+        fid: int,
+        pattern: AccessPattern,
+        dry_run: bool = False,
+        program: Optional[ActiveProgram] = None,
     ) -> ProvisioningReport:
         """Admit an application, applying the full reallocation protocol.
 
@@ -218,10 +252,15 @@ class ActiveRmtController:
         spend; the in-process state (allocator, tables, deactivations)
         is updated for real.  With ``dry_run=True`` nothing is updated:
         the report carries the :class:`AllocationPlan` a real admission
-        would have committed (what-if capacity probing).
+        would have committed (what-if capacity probing).  Passing the
+        compact *program* lets the static verifier check the mutant
+        being installed against the granted plan (subject to the
+        controller's ``verify`` policy).
         """
         return self.submit(
-            ProvisioningRequest.admission(fid, pattern, dry_run=dry_run)
+            ProvisioningRequest.admission(
+                fid, pattern, dry_run=dry_run, program=program
+            )
         )
 
     def what_if(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
@@ -236,18 +275,26 @@ class ActiveRmtController:
         return report.table_update_seconds
 
     def _do_admit(
-        self, fid: int, pattern: AccessPattern, dry_run: bool = False
+        self,
+        fid: int,
+        pattern: AccessPattern,
+        dry_run: bool = False,
+        program: Optional[ActiveProgram] = None,
     ) -> ProvisioningReport:
-        """Two-phase admission: plan, commit, apply tables, or roll back.
+        """Two-phase admission: plan, verify, commit, apply, or roll back.
 
         Phase 1 (*plan*) computes the entire decision without touching
-        allocator or switch state.  Phase 2 (*commit + apply*) takes an
-        allocator checkpoint, commits the plan, and applies every table
-        update through a :class:`TableUpdateJournal`; if the switch
-        rejects an update (TCAM exhaustion), the journal is replayed
-        backwards and the allocator checkpoint restored, leaving every
-        incumbent -- pools, table entries, register contents,
-        activation state -- byte-identical to the pre-request state.
+        allocator or switch state.  The static verifier then checks the
+        mutant the plan would install (when the request carries the
+        program); a strict-mode rejection aborts the still-pending plan
+        -- no pool, table, or register state has been touched.  Phase 2
+        (*commit + apply*) takes an allocator checkpoint, commits the
+        plan, and applies every table update through a
+        :class:`TableUpdateJournal`; if the switch rejects an update
+        (TCAM exhaustion), the journal is replayed backwards and the
+        allocator checkpoint restored, leaving every incumbent --
+        pools, table entries, register contents, activation state --
+        byte-identical to the pre-request state.
         """
         plan = self.allocator.plan(fid, pattern)
         if dry_run:
@@ -266,6 +313,34 @@ class ActiveRmtController:
             )
             self.reports.append(report)
             self._record_admission(report, "no_feasible_mutant")
+            return report
+
+        # Static verification of the mutant the plan would install,
+        # while the plan is still pending (nothing mutated yet).
+        verification = self._verify_admission(pattern, plan, program)
+        if (
+            verification is not None
+            and self.verify is VerifyMode.STRICT
+            and verification.has_errors
+        ):
+            self.allocator.abort(plan)
+            reasons = "; ".join(str(f) for f in verification.errors)
+            report = ProvisioningReport(
+                fid=fid,
+                success=False,
+                reason=f"verifier rejected: {reasons}",
+                compute_seconds=plan.total_seconds,
+                plan=plan,
+                verification=verification,
+            )
+            self.reports.append(report)
+            self._record_admission(report, "verifier_rejected")
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "verifier_rejections_total",
+                    help="Admissions rejected by the static verifier",
+                    plane="controller",
+                ).inc()
             return report
 
         # Decision telemetry is deferred (record=False) until the
@@ -294,6 +369,7 @@ class ActiveRmtController:
                 compute_seconds=decision.total_seconds,
                 plan=plan,
                 rolled_back=True,
+                verification=verification,
             )
             self.reports.append(report)
             self._record_admission(report, "tcam_exhausted")
@@ -309,9 +385,35 @@ class ActiveRmtController:
             table_update_seconds=table_seconds,
             snapshot_seconds=snapshot_seconds,
             plan=plan,
+            verification=verification,
         )
         self.reports.append(report)
         self._record_admission(report, "admitted")
+        return report
+
+    def _verify_admission(
+        self,
+        pattern: AccessPattern,
+        plan: AllocationPlan,
+        program: Optional[ActiveProgram],
+    ) -> Optional[AnalysisReport]:
+        """Run the static verifier on the mutant this plan installs.
+
+        Returns None when verification is off or the request carried no
+        program (wire-digested admissions).  Findings are exported via
+        the ``verifier_findings_total`` counter regardless of mode;
+        only strict mode acts on them.
+        """
+        if self.verify is VerifyMode.OFF or program is None:
+            return None
+        report = verify_plan(
+            program,
+            pattern,
+            plan,
+            config=self.switch.config,
+            translation_window=TableUpdateEngine.TRANSLATION_WINDOW,
+        )
+        record_report(self.telemetry, report, plane="controller")
         return report
 
     def _report_dry_run(self, plan: AllocationPlan) -> ProvisioningReport:

@@ -170,6 +170,37 @@ class AllocationPlan:
     def reallocated_fids(self) -> List[int]:
         return sorted(self.reallocations)
 
+    # ------------------------------------------------------------------
+    # Plan-vs-program cross-checks (consumed by repro.analysis)
+    # ------------------------------------------------------------------
+
+    def granted_stages(self) -> List[int]:
+        """Physical stages where this plan grants a non-empty region."""
+        return sorted(
+            stage
+            for stage, block_range in self.regions.items()
+            if block_range.count > 0
+        )
+
+    def word_regions(self, block_words: int) -> Dict[int, Tuple[int, int]]:
+        """Granted regions as ``{stage: (start_word, end_word)}``.
+
+        The word-level view the protection TCAM enforces -- what the
+        verifier checks translated addresses against.
+        """
+        out: Dict[int, Tuple[int, int]] = {}
+        for stage, block_range in self.regions.items():
+            if block_range.count <= 0:
+                continue
+            words = block_range.to_words(block_words)
+            out[stage] = (words.start, words.end)
+        return out
+
+    def covers_mutant(self, physical_stages: "Tuple[int, ...]") -> bool:
+        """Does every stage a mutant touches carry a granted region?"""
+        granted = set(self.granted_stages())
+        return all(stage in granted for stage in physical_stages)
+
 
 @dataclasses.dataclass(frozen=True)
 class AllocatorCheckpoint:

@@ -182,6 +182,28 @@ def run_experiment(
     return output
 
 
+def run_lint(report_out: Optional[str] = None) -> int:
+    """Statically verify the bundled apps (the ``lint`` pseudo-experiment).
+
+    Prints the per-program findings report and returns a process exit
+    code: 0 when no error-severity finding exists, 1 otherwise.  With
+    *report_out*, the machine-readable summary (per-program findings
+    plus totals) is written there as JSON.
+    """
+    from repro.analysis import lint_catalog
+
+    text, payload, exit_code = lint_catalog()
+    print(text)
+    if report_out is not None:
+        import json
+
+        with open(report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[verifier report written to {report_out}]")
+    return exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="activermt-experiments",
@@ -189,8 +211,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure/table to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "lint"],
+        help=(
+            "which figure/table to regenerate, or 'lint' to statically "
+            "verify the bundled active programs"
+        ),
     )
     parser.add_argument(
         "--quick",
@@ -206,7 +231,15 @@ def main(argv=None) -> int:
             "each figure run (.prom = Prometheus text, else JSON)"
         ),
     )
+    parser.add_argument(
+        "--report-out",
+        metavar="FILE",
+        default=None,
+        help="(lint only) write the JSON findings summary here",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "lint":
+        return run_lint(report_out=args.report_out)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()

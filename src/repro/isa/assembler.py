@@ -137,9 +137,9 @@ def assemble(source: str, name: str = "anonymous") -> ActiveProgram:
 
 def disassemble(program: ActiveProgram) -> str:
     """Render a program back to assembly source (round-trips assemble)."""
-    lines = []
+    lines: List[str] = []
     for instr in program:
-        parts = []
+        parts: List[str] = []
         if instr.is_label_target:
             parts.append(f"L{instr.label}:")
         parts.append(instr.opcode.name)

@@ -23,7 +23,7 @@ word of the object.
 from __future__ import annotations
 
 import enum
-from typing import FrozenSet
+from typing import Dict, FrozenSet
 
 
 class OpcodeClass(enum.Enum):
@@ -103,7 +103,7 @@ class Opcode(enum.IntEnum):
     CRTS = 0x54  # RTS if MBR != 0
 
 
-_CLASS_BY_RANGE = {
+_CLASS_BY_RANGE: Dict[int, OpcodeClass] = {
     0x00: OpcodeClass.SPECIAL,
     0x10: OpcodeClass.DATA_COPY,
     0x20: OpcodeClass.DATA_MANIPULATION,

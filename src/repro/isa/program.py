@@ -13,7 +13,8 @@ since the switch executes exactly one instruction per stage (Section 3.1).
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+import functools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import (
@@ -47,6 +48,16 @@ class ActiveProgram:
         object.__setattr__(self, "instructions", tuple(instructions))
         object.__setattr__(self, "name", name)
         self._validate()
+
+    def __hash__(self) -> int:
+        # Programs key memoization caches on the verifier's hot path
+        # (one hash per compile); the content hash over every
+        # instruction is computed once and reused.
+        cached: Optional[int] = self.__dict__.get("_content_hash")
+        if cached is None:
+            cached = hash((self.instructions, self.name))
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     def _validate(self) -> None:
         if not self.instructions:
@@ -82,6 +93,12 @@ class ActiveProgram:
             if label not in label_pos:
                 raise ProgramError(
                     f"{self.name}: branch at {idx} to undefined label L{label}"
+                )
+            if label_pos[label] == idx:
+                raise ProgramError(
+                    f"{self.name}: branch at {idx} targets its own position "
+                    f"(self-loop on label L{label}); a stage cannot re-enter "
+                    "itself"
                 )
             if label_pos[label] <= idx:
                 raise ProgramError(
@@ -143,7 +160,7 @@ class ActiveProgram:
         """True if the program clones packets (always recirculates)."""
         return any(instr.opcode is Opcode.FORK for instr in self.instructions)
 
-    def label_positions(self) -> dict:
+    def label_positions(self) -> Dict[int, int]:
         """Map of label id -> 0-indexed instruction position."""
         return {
             instr.label: idx
@@ -167,23 +184,12 @@ class ActiveProgram:
         This is the paper's mutant synthesis (Figure 4): padding shifts
         every subsequent instruction -- and hence its execution stage --
         later in the logical pipeline without altering semantics.
+
+        Results are memoized: programs are immutable, so re-deriving a
+        known mutant (the steady state of the compile path) returns the
+        shared instance.
         """
-        by_pos = {}
-        for position, count in insertions:
-            if not 1 <= position <= len(self.instructions):
-                raise ProgramError(
-                    f"insertion position {position} out of range 1..{len(self)}"
-                )
-            if count < 0:
-                raise ProgramError("negative NOP count")
-            if position in by_pos:
-                raise ProgramError(f"duplicate insertion position {position}")
-            by_pos[position] = count
-        out: List[Instruction] = []
-        for idx, instr in enumerate(self.instructions):
-            out.extend(Instruction(Opcode.NOP) for _ in range(by_pos.get(idx + 1, 0)))
-            out.append(instr)
-        return ActiveProgram(out, name=self.name)
+        return _padded_variant(self, tuple(insertions))
 
     def retarget_arguments(
         self, args: Sequence[int], slots: Optional[Sequence[int]] = None
@@ -209,3 +215,30 @@ class ActiveProgram:
             f"{idx + 1:3d}  {instr}" for idx, instr in enumerate(self.instructions)
         )
         return "\n".join(lines)
+
+
+def _build_padded(
+    program: ActiveProgram, insertions: Tuple[Tuple[int, int], ...]
+) -> ActiveProgram:
+    by_pos: Dict[int, int] = {}
+    for position, count in insertions:
+        if not 1 <= position <= len(program.instructions):
+            raise ProgramError(
+                f"insertion position {position} out of range "
+                f"1..{len(program)}"
+            )
+        if count < 0:
+            raise ProgramError("negative NOP count")
+        if position in by_pos:
+            raise ProgramError(f"duplicate insertion position {position}")
+        by_pos[position] = count
+    out: List[Instruction] = []
+    for idx, instr in enumerate(program.instructions):
+        out.extend(
+            Instruction(Opcode.NOP) for _ in range(by_pos.get(idx + 1, 0))
+        )
+        out.append(instr)
+    return ActiveProgram(out, name=program.name)
+
+
+_padded_variant = functools.lru_cache(maxsize=256)(_build_padded)

@@ -47,6 +47,28 @@ class SwitchConfig:
     num_ports: int = 64
     program_cache_entries: int = 256
 
+    def __hash__(self) -> int:
+        # Configs key the static verifier's memoization caches, which
+        # sit on the per-compile hot path; the field-tuple hash is
+        # computed once and reused.
+        cached: "int | None" = self.__dict__.get("_content_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.num_stages,
+                    self.ingress_stages,
+                    self.words_per_stage,
+                    self.word_bytes,
+                    self.block_bytes,
+                    self.max_recirculations,
+                    self.tcam_entries_per_stage,
+                    self.num_ports,
+                    self.program_cache_entries,
+                )
+            )
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         if self.num_stages < 2:
             raise ValueError("need at least two stages")

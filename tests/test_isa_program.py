@@ -63,6 +63,25 @@ def test_backward_branch_rejected():
         )
 
 
+def test_self_loop_branch_rejected():
+    # A branch whose destination label resolves to its own position.
+    # The public constructor cannot produce one (branches cannot carry a
+    # target label in the 2-byte header), so build the degenerate shape
+    # directly and run validation on it: an instruction claiming to be
+    # both a branch to L1 and the L1 target at the same index.
+    class _SelfLoop:
+        opcode = Opcode.CJUMP
+        label = 1
+        is_branch = True
+        is_label_target = True
+
+    program = object.__new__(ActiveProgram)
+    object.__setattr__(program, "instructions", (_SelfLoop(),))
+    object.__setattr__(program, "name", "self-loop")
+    with pytest.raises(ProgramError, match="self-loop"):
+        program._validate()
+
+
 def test_duplicate_label_rejected():
     with pytest.raises(ProgramError):
         ActiveProgram(

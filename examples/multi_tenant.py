@@ -23,7 +23,7 @@ def main() -> None:
     print(f"{'fid':>4} {'app':<14} {'ok':<4} {'stages':<22} "
           f"{'blocks':>6} {'realloc’d':>10} {'util':>6}")
     for event in mixed_arrivals(count=40, seed=7):
-        report = controller.admit(event.fid, patterns[event.app_name])
+        report = controller.admit(fid=event.fid, pattern=patterns[event.app_name])
         allocator = controller.allocator
         if report.success:
             app_of_fid[event.fid] = event.app_name
@@ -59,10 +59,10 @@ def main() -> None:
     )
     if neighbour is None:
         print(f"\nfid {victim} shares no stage; its departure just frees memory")
-        controller.withdraw(victim)
+        controller.withdraw(fid=victim)
     else:
         before = allocator.app_total_blocks(neighbour)
-        controller.withdraw(victim)
+        controller.withdraw(fid=victim)
         after = allocator.app_total_blocks(neighbour)
         print(f"\nafter releasing fid {victim}: co-tenant cache fid "
               f"{neighbour} grew {before} -> {after} blocks")

@@ -52,6 +52,7 @@ from repro.analysis import (
 from repro.client.compiler import (
     ActiveCompiler,
     CompilationError,
+    CompileOptions,
     SynthesizedProgram,
     compile_mutant,
 )
@@ -60,13 +61,21 @@ from repro.controller.controller import (
     ControllerError,
     ProvisioningReport,
     ProvisioningRequest,
+    ProvisioningStatus,
     RequestKind,
+)
+from repro.controller.service import (
+    AdmissionService,
+    AdmissionTicket,
+    BackoffPolicy,
+    BatchReport,
 )
 from repro.core.transactions import (
     AllocationPlan,
     CommitResult,
     PlanState,
     PoolSnapshot,
+    StalePlanError,
     TableUpdateJournal,
     TransactionError,
 )
@@ -98,20 +107,27 @@ __all__ = [
     "program_digest",
     # Control plane
     "ActiveRmtController",
+    "AdmissionService",
+    "AdmissionTicket",
+    "BackoffPolicy",
+    "BatchReport",
     "ControllerError",
     "ProvisioningReport",
     "ProvisioningRequest",
+    "ProvisioningStatus",
     "RequestKind",
     # Transactions
     "AllocationPlan",
     "CommitResult",
     "PlanState",
     "PoolSnapshot",
+    "StalePlanError",
     "TableUpdateJournal",
     "TransactionError",
     # Client
     "ActiveCompiler",
     "CompilationError",
+    "CompileOptions",
     "SynthesizedProgram",
     "compile_mutant",
     # Static verification

@@ -14,17 +14,35 @@ from repro.controller.controller import (
     ControllerError,
     ProvisioningReport,
     ProvisioningRequest,
+    ProvisioningStatus,
     RequestKind,
     SnapshotCost,
+)
+from repro.controller.service import (
+    AdmissionService,
+    AdmissionServiceError,
+    AdmissionTicket,
+    BackoffPolicy,
+    BatchReport,
+    BatchTicket,
+    replay_commit_log,
 )
 
 __all__ = [
     "TableUpdateEngine",
     "TableUpdateCost",
     "ActiveRmtController",
+    "AdmissionService",
+    "AdmissionServiceError",
+    "AdmissionTicket",
+    "BackoffPolicy",
+    "BatchReport",
+    "BatchTicket",
     "ControllerError",
     "ProvisioningReport",
     "ProvisioningRequest",
+    "ProvisioningStatus",
     "RequestKind",
     "SnapshotCost",
+    "replay_commit_log",
 ]

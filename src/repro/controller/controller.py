@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Callable, Dict, List, Optional, Tuple, Union
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.findings import AnalysisReport, VerifyMode, record_report
 from repro.analysis.verifier import verify_plan
+from repro.client.compiler import CompileOptions
 from repro.core.allocator import (
     ActiveRmtAllocator,
     AllocationDecision,
@@ -32,7 +34,12 @@ from repro.core.allocator import (
 from repro.core.blocks import BlockRange
 from repro.core.constraints import AccessPattern, AllocationPolicy, MOST_CONSTRAINED
 from repro.core.schemes import AllocationScheme
-from repro.core.transactions import AllocationPlan, TableUpdateJournal
+from repro.core.transactions import (
+    AllocationPlan,
+    PlanState,
+    StalePlanError,
+    TableUpdateJournal,
+)
 from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
 from repro.isa.program import ActiveProgram
 from repro.packets.codec import ActivePacket
@@ -45,6 +52,40 @@ from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
 
 class ControllerError(Exception):
     """Raised on controller misuse (unknown FID, malformed digest)."""
+
+
+def _legacy_positional(
+    method: str,
+    args: Tuple[object, ...],
+    names: Tuple[str, ...],
+    provided: Dict[str, object],
+    defaults: Dict[str, object],
+) -> Dict[str, object]:
+    """Map a deprecated positional call onto keyword-only slots.
+
+    The facade methods (`admit`/`withdraw`/`what_if`) are keyword-only;
+    this shim keeps the legacy positional forms working for one release
+    while steering callers toward keywords.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            f"{method}() takes at most {len(names)} arguments "
+            f"({len(args)} given)"
+        )
+    warnings.warn(
+        f"{method}() with positional arguments is deprecated; pass "
+        f"{', '.join(names[: len(args)])} by keyword",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = dict(provided)
+    for name, value in zip(names, args):
+        if merged[name] != defaults[name]:
+            raise TypeError(
+                f"{method}() got multiple values for argument {name!r}"
+            )
+        merged[name] = value
+    return merged
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +107,23 @@ class RequestKind(enum.Enum):
     ADMIT = "admit"
     WITHDRAW = "withdraw"
     DIGEST = "digest"
+
+
+class ProvisioningStatus(enum.Enum):
+    """Typed outcome of one provisioning request.
+
+    Replaces the stringly-typed report outcome.  ``ADMITTED`` doubles
+    as the generic "request executed" status for withdrawals and digest
+    handling; ``SHED`` is produced only by the admission service when a
+    request is dropped (full queue, missed deadline) with a
+    retry-after hint rather than an error.
+    """
+
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    ROLLED_BACK = "rolled_back"
+    SHED = "shed"
+    DRY_RUN = "dry_run"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,6 +208,43 @@ class ProvisioningReport:
     #: (None when the controller runs with ``verify="off"`` or the
     #: request carried no program).
     verification: Optional[AnalysisReport] = None
+    #: Typed outcome.  Left unset, it is derived from the legacy flags
+    #: (``success``/``dry_run``/``rolled_back``) so existing
+    #: construction sites stay valid; the admission service sets SHED
+    #: explicitly.
+    status: Optional[ProvisioningStatus] = None
+    #: For SHED outcomes: how long the client should wait before
+    #: resubmitting (the graceful-degradation contract -- a shed is an
+    #: allocation response, not an error).
+    retry_after_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status is None:
+            if self.dry_run:
+                self.status = ProvisioningStatus.DRY_RUN
+            elif self.rolled_back:
+                self.status = ProvisioningStatus.ROLLED_BACK
+            elif self.success:
+                self.status = ProvisioningStatus.ADMITTED
+            else:
+                self.status = ProvisioningStatus.REJECTED
+
+    @property
+    def outcome(self) -> str:
+        """Deprecated string form of :attr:`status` (one-release shim)."""
+        warnings.warn(
+            "ProvisioningReport.outcome is deprecated; use "
+            "ProvisioningReport.status (a ProvisioningStatus enum)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        assert self.status is not None
+        return self.status.value
+
+    @property
+    def shed(self) -> bool:
+        """Was this request shed (retry later) rather than decided?"""
+        return self.status is ProvisioningStatus.SHED
 
     @property
     def total_seconds(self) -> float:
@@ -175,7 +270,7 @@ class ActiveRmtController:
         table_cost: Optional[TableUpdateCost] = None,
         snapshot_cost: Optional[SnapshotCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
-        verify: Union[VerifyMode, str] = VerifyMode.WARN,
+        verify: Union[CompileOptions, VerifyMode, str] = VerifyMode.WARN,
     ) -> None:
         self.switch = switch
         self.telemetry = resolve(telemetry)
@@ -183,7 +278,9 @@ class ActiveRmtController:
         #: any error-severity finding before commit, ``warn`` (default)
         #: records findings without blocking, ``off`` skips analysis
         #: entirely (byte-identical to the pre-verifier admission path).
-        self.verify = VerifyMode.coerce(verify)
+        #: Also accepts a :class:`~repro.client.compiler.CompileOptions`
+        #: bag, whose ``verify`` field is used.
+        self.verify = CompileOptions.coerce(verify).verify
         self.allocator = ActiveRmtAllocator(
             switch.config, scheme=scheme, policy=policy, telemetry=self.telemetry
         )
@@ -241,12 +338,19 @@ class ActiveRmtController:
 
     def admit(
         self,
-        fid: int,
-        pattern: AccessPattern,
+        *args: object,
+        fid: Optional[int] = None,
+        pattern: Optional[AccessPattern] = None,
         dry_run: bool = False,
         program: Optional[ActiveProgram] = None,
     ) -> ProvisioningReport:
         """Admit an application, applying the full reallocation protocol.
+
+        Thin delegate of :meth:`submit` --
+        :class:`ProvisioningRequest` is the single front door.
+        Arguments are keyword-only; the legacy positional form
+        ``admit(fid, pattern, ...)`` still works but emits a
+        :class:`DeprecationWarning`.
 
         The report's durations model what a real deployment would
         spend; the in-process state (allocator, tables, deactivations)
@@ -257,20 +361,67 @@ class ActiveRmtController:
         being installed against the granted plan (subject to the
         controller's ``verify`` policy).
         """
+        if args:
+            merged = _legacy_positional(
+                "admit",
+                args,
+                ("fid", "pattern", "dry_run", "program"),
+                {"fid": fid, "pattern": pattern, "dry_run": dry_run, "program": program},
+                defaults={"fid": None, "pattern": None, "dry_run": False, "program": None},
+            )
+            fid = merged["fid"]  # type: ignore[assignment]
+            pattern = merged["pattern"]  # type: ignore[assignment]
+            dry_run = merged["dry_run"]  # type: ignore[assignment]
+            program = merged["program"]  # type: ignore[assignment]
+        if fid is None or pattern is None:
+            raise TypeError("admit() requires fid= and pattern=")
         return self.submit(
             ProvisioningRequest.admission(
                 fid, pattern, dry_run=dry_run, program=program
             )
         )
 
-    def what_if(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
-        """Probe an admission without side effects; returns the plan."""
-        report = self.admit(fid, pattern, dry_run=True)
+    def what_if(
+        self,
+        *args: object,
+        fid: Optional[int] = None,
+        pattern: Optional[AccessPattern] = None,
+    ) -> AllocationPlan:
+        """Probe an admission without side effects; returns the plan.
+
+        Keyword-only delegate of :meth:`submit` (``dry_run=True``); the
+        legacy positional ``what_if(fid, pattern)`` emits a
+        :class:`DeprecationWarning`.
+        """
+        if args:
+            merged = _legacy_positional(
+                "what_if",
+                args,
+                ("fid", "pattern"),
+                {"fid": fid, "pattern": pattern},
+                defaults={"fid": None, "pattern": None},
+            )
+            fid = merged["fid"]  # type: ignore[assignment]
+            pattern = merged["pattern"]  # type: ignore[assignment]
+        if fid is None or pattern is None:
+            raise TypeError("what_if() requires fid= and pattern=")
+        report = self.admit(fid=fid, pattern=pattern, dry_run=True)
         assert report.plan is not None
         return report.plan
 
-    def withdraw(self, fid: int) -> float:
-        """Release an application's allocation; returns modeled seconds."""
+    def withdraw(self, *args: object, fid: Optional[int] = None) -> float:
+        """Release an application's allocation; returns modeled seconds.
+
+        Keyword-only delegate of :meth:`submit`; the legacy positional
+        ``withdraw(fid)`` emits a :class:`DeprecationWarning`.
+        """
+        if args:
+            merged = _legacy_positional(
+                "withdraw", args, ("fid",), {"fid": fid}, defaults={"fid": None}
+            )
+            fid = merged["fid"]  # type: ignore[assignment]
+        if fid is None:
+            raise TypeError("withdraw() requires fid=")
         report = self.submit(ProvisioningRequest.withdrawal(fid))
         return report.table_update_seconds
 
@@ -300,24 +451,206 @@ class ActiveRmtController:
         if dry_run:
             return self._report_dry_run(plan)
         if not plan.feasible:
-            self.allocator.abort(plan)
-            decision = self.allocator.decision_from_plan(plan)
-            self.allocator.record_decision(decision)
+            return self._report_infeasible(plan)
+        return self._commit_feasible(plan, program=program)
+
+    # ------------------------------------------------------------------
+    # Optimistic plan/commit entry points (used by AdmissionService)
+    # ------------------------------------------------------------------
+
+    def commit_plan(
+        self,
+        plan: AllocationPlan,
+        program: Optional[ActiveProgram] = None,
+    ) -> ProvisioningReport:
+        """Commit a plan computed elsewhere -- typically against a shadow.
+
+        The optimistic half of the concurrent control plane: planner
+        workers compute plans against copy-on-write shadows in
+        parallel, then funnel through this short serialized path.  A
+        plan whose basis version no longer matches raises
+        :class:`StalePlanError` *before* any state is touched -- even
+        for infeasible plans, whose infeasibility may itself be an
+        artifact of the stale shadow -- and the caller re-plans.
+        """
+        if plan.basis_version != self.allocator.version:
+            raise StalePlanError(
+                f"plan for fid {plan.fid} computed against version "
+                f"{plan.basis_version}, allocator is at "
+                f"{self.allocator.version}"
+            )
+        if not plan.feasible:
+            return self._report_infeasible(plan)
+        return self._commit_feasible(plan, program=program)
+
+    def commit_batch(
+        self,
+        plans: Sequence[AllocationPlan],
+        programs: Optional[Sequence[Optional[ActiveProgram]]] = None,
+    ) -> List[ProvisioningReport]:
+        """Commit a group of plans under one journal, all-or-nothing.
+
+        The plans must have been computed consecutively against one
+        shadow (each rehearsed before the next was planned), so their
+        basis stamps replay exactly onto the real allocator.  Every
+        switch-side mutation across the whole group lands in a single
+        :class:`TableUpdateJournal`: a mid-batch TCAM rejection replays
+        the journal backwards and rolls back every already-committed
+        member, leaving the switch and allocator byte-identical to the
+        pre-batch state (all reports carry ``ROLLED_BACK``).
+
+        Raises:
+            StalePlanError: when the group's basis version no longer
+                matches (nothing touched; the caller re-plans).
+        """
+        if not plans:
+            return []
+        if programs is None:
+            programs = [None] * len(plans)
+        if plans[0].basis_version != self.allocator.version:
+            raise StalePlanError(
+                f"batch of {len(plans)} plans computed against version "
+                f"{plans[0].basis_version}, allocator is at "
+                f"{self.allocator.version}"
+            )
+        # Verify every member while nothing is mutated: one strict
+        # rejection fails the whole group without touching any state.
+        verifications: List[Optional[AnalysisReport]] = []
+        for plan, program in zip(plans, programs):
+            verification = self._verify_admission(plan.pattern, plan, program)
+            verifications.append(verification)
+            if (
+                verification is not None
+                and self.verify is VerifyMode.STRICT
+                and verification.has_errors
+            ):
+                return self._reject_batch(
+                    plans, verifications, rejected_by=plan, kind="verifier"
+                )
+
+        journal = TableUpdateJournal()
+        results = []
+        reports: List[ProvisioningReport] = []
+        try:
+            for plan, verification in zip(plans, verifications):
+                result = self.allocator.commit(plan, record=False)
+                results.append(result)
+                table_seconds, snapshot_seconds = self._apply_admission(
+                    plan.fid, result.decision, journal
+                )
+                reports.append(
+                    ProvisioningReport(
+                        fid=plan.fid,
+                        success=True,
+                        decision=result.decision,
+                        compute_seconds=result.decision.total_seconds,
+                        table_update_seconds=table_seconds,
+                        snapshot_seconds=snapshot_seconds,
+                        plan=plan,
+                        verification=verification,
+                    )
+                )
+        except TcamCapacityError as exc:
+            journal.rollback()
+            for result in reversed(results):
+                self.allocator.rollback(result)
+            reports = [
+                ProvisioningReport(
+                    fid=plan.fid,
+                    success=False,
+                    reason=(
+                        f"batch rolled back: TCAM exhausted admitting "
+                        f"fid {results[-1].plan.fid}: {exc}"
+                    ),
+                    compute_seconds=plan.total_seconds,
+                    plan=plan,
+                    rolled_back=True,
+                    verification=verification,
+                )
+                for plan, verification in zip(plans, verifications)
+            ]
+            for report in reports:
+                self.reports.append(report)
+                self._record_admission(report, "tcam_exhausted")
+            return reports
+
+        journal.commit_entries()
+        for result, report in zip(results, reports):
+            self.allocator.record_decision(result.decision)
+            self.reports.append(report)
+            self._record_admission(report, "admitted")
+        return reports
+
+    def _reject_batch(
+        self,
+        plans: Sequence[AllocationPlan],
+        verifications: Sequence[Optional[AnalysisReport]],
+        rejected_by: AllocationPlan,
+        kind: str,
+    ) -> List[ProvisioningReport]:
+        """Fail a whole batch before any member mutated state."""
+        reasons = ""
+        verification = verifications[-1]
+        if verification is not None and verification.has_errors:
+            reasons = "; ".join(str(f) for f in verification.errors)
+        reports = []
+        for index, plan in enumerate(plans):
+            if plan.state is PlanState.PENDING:
+                self.allocator.abort(plan)
+            if plan is rejected_by:
+                reason = f"verifier rejected: {reasons}"
+            else:
+                reason = (
+                    f"batch aborted: fid {rejected_by.fid} rejected by "
+                    f"{kind}"
+                )
             report = ProvisioningReport(
-                fid=fid,
+                fid=plan.fid,
                 success=False,
-                decision=decision,
-                reason=plan.reason,
-                compute_seconds=decision.total_seconds,
+                reason=reason,
+                compute_seconds=plan.total_seconds,
                 plan=plan,
+                verification=(
+                    verifications[index] if index < len(verifications) else None
+                ),
             )
             self.reports.append(report)
-            self._record_admission(report, "no_feasible_mutant")
-            return report
+            self._record_admission(report, "verifier_rejected")
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "verifier_rejections_total",
+                help="Admissions rejected by the static verifier",
+                plane="controller",
+            ).inc()
+        return reports
 
+    def _report_infeasible(self, plan: AllocationPlan) -> ProvisioningReport:
+        """Package a planning-time rejection (no feasible mutant)."""
+        self.allocator.abort(plan)
+        decision = self.allocator.decision_from_plan(plan)
+        self.allocator.record_decision(decision)
+        report = ProvisioningReport(
+            fid=plan.fid,
+            success=False,
+            decision=decision,
+            reason=plan.reason,
+            compute_seconds=decision.total_seconds,
+            plan=plan,
+        )
+        self.reports.append(report)
+        self._record_admission(report, "no_feasible_mutant")
+        return report
+
+    def _commit_feasible(
+        self,
+        plan: AllocationPlan,
+        program: Optional[ActiveProgram] = None,
+    ) -> ProvisioningReport:
+        """Verify, commit, and apply one feasible plan (or roll back)."""
+        fid = plan.fid
         # Static verification of the mutant the plan would install,
         # while the plan is still pending (nothing mutated yet).
-        verification = self._verify_admission(pattern, plan, program)
+        verification = self._verify_admission(plan.pattern, plan, program)
         if (
             verification is not None
             and self.verify is VerifyMode.STRICT
@@ -605,7 +938,7 @@ class ActiveRmtController:
             packet.request, name=f"fid{packet.fid}"
         )
         self._client_macs[packet.fid] = packet.eth.src
-        report = self.admit(packet.fid, pattern)
+        report = self.admit(fid=packet.fid, pattern=pattern)
         replies: List[ActivePacket] = []
         if report.success:
             # Impacted incumbents get their updated regions, flagged as
@@ -648,7 +981,7 @@ class ActiveRmtController:
     def _handle_control(self, packet: ActivePacket) -> List[ActivePacket]:
         if packet.has_flag(ControlFlags.DEALLOCATE):
             try:
-                self.withdraw(packet.fid)
+                self.withdraw(fid=packet.fid)
             except AllocationError as exc:
                 raise ControllerError(str(exc)) from exc
             return []

@@ -1,0 +1,711 @@
+"""Concurrent admission: a queued, optimistic plan/commit control plane.
+
+The paper provisions applications one request at a time (~1 s each);
+this module is the control plane that survives churn from thousands of
+tenants.  The RBFRT line of work shows runtime control planes win an
+order of magnitude through batched, concurrent updates -- and PR 3's
+split of the allocator into a pure planner plus a version-stamped
+committer was built for exactly the architecture implemented here:
+
+- a **bounded request queue** feeds N planner workers; a full queue
+  sheds new requests immediately with a retry-after hint,
+- workers **speculatively plan in parallel** against copy-on-write
+  shadows of the stage pools (:meth:`ActiveRmtAllocator.shadow`),
+- only the short **commit path is serialized**; a commit whose basis
+  version moved on raises :class:`StalePlanError` and the worker
+  re-plans with jittered exponential backoff,
+- retries are **bounded by per-request deadlines**: a request past its
+  deadline is shed gracefully -- a :class:`ProvisioningReport` with
+  status ``SHED`` and a ``retry_after_s`` hint, never an exception,
+- **batched admission** (:meth:`AdmissionService.submit_many`) plans a
+  group of fids against one shadow (each plan rehearsed so later ones
+  see earlier grants) and commits them under a single journal, so a
+  mid-batch failure rolls the whole group back.
+
+Every successful commit is appended to :attr:`AdmissionService.commit_log`
+under the commit lock, giving the serialization-order witness: replaying
+the log serially on a fresh controller must reproduce the concurrent
+run's pool state byte for byte (:func:`replay_commit_log`).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import math
+import random
+import threading
+import time
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.controller.controller import (
+    ActiveRmtController,
+    ProvisioningReport,
+    ProvisioningRequest,
+    ProvisioningStatus,
+    RequestKind,
+)
+from repro.core.allocator import ActiveRmtAllocator, AllocationError
+from repro.core.constraints import AccessPattern
+from repro.core.transactions import AllocationPlan, StalePlanError
+from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry
+
+
+class AdmissionServiceError(Exception):
+    """Raised on service misuse (submit after close, bad batch)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential backoff between optimistic re-plans.
+
+    Delay for attempt *k* (1-based) is ``base_s * multiplier**(k-1)``
+    capped at ``cap_s``, then scaled by a uniform factor in
+    ``[1 - jitter, 1]`` so colliding workers decorrelate.
+    """
+
+    base_s: float = 2e-4
+    multiplier: float = 2.0
+    cap_s: float = 2e-2
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.cap_s, self.base_s * self.multiplier ** max(0, attempt - 1))
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class AdmissionTicket:
+    """Handle on one queued request; resolves to a ProvisioningReport."""
+
+    def __init__(self, request: ProvisioningRequest, submitted_at: float, deadline: float) -> None:
+        self.request = request
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self.resolved_at: Optional[float] = None
+        self._event = threading.Event()
+        self._report: Optional[ProvisioningReport] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ProvisioningReport:
+        """Block until the request resolves; re-raises worker errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("admission ticket not resolved in time")
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+
+@dataclasses.dataclass
+class BatchReport:
+    """Outcome of one atomic admission group.
+
+    ``status`` summarizes the group: ``ADMITTED`` only when every
+    member committed; ``ROLLED_BACK`` when a mid-batch switch-side
+    failure undid the whole group; ``REJECTED`` when a member was
+    infeasible (nothing was touched); ``SHED`` when the group missed
+    its deadline or the queue was full.
+    """
+
+    reports: List[ProvisioningReport]
+    status: ProvisioningStatus
+    retry_after_s: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        return self.status is ProvisioningStatus.ADMITTED
+
+
+class BatchTicket:
+    """Handle on one queued admission group; resolves to a BatchReport."""
+
+    def __init__(
+        self,
+        requests: Tuple[ProvisioningRequest, ...],
+        submitted_at: float,
+        deadline: float,
+    ) -> None:
+        self.requests = requests
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self.resolved_at: Optional[float] = None
+        self._event = threading.Event()
+        self._report: Optional[BatchReport] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> BatchReport:
+        if not self._event.wait(timeout):
+            raise TimeoutError("batch ticket not resolved in time")
+        if self._error is not None:
+            raise self._error
+        assert self._report is not None
+        return self._report
+
+
+#: One committed control-plane operation, in commit order: ("admit", fid)
+#: or ("withdraw", fid).
+CommitLogEntry = Tuple[str, int]
+
+
+class AdmissionService:
+    """Queued, optimistic, concurrency-safe front door to the controller.
+
+    Args:
+        controller: the (single-threaded) controller this service owns.
+            All mutation of it happens under the service's commit lock.
+        workers: planner worker threads.  ``0`` runs the same pipeline
+            inline on the submitting thread (no queue, no shedding by
+            queue pressure) -- what the discrete-event simulations use.
+        queue_limit: bound on queued requests; submissions beyond it
+            are shed immediately with a retry-after hint.
+        default_deadline_s: deadline applied when ``submit`` is not
+            given one (None = no deadline; requests never expire).
+        backoff: re-plan backoff policy (jittered exponential).
+        retry_after_s: the hint placed on shed responses.
+        pacing: fraction of each report's *modeled* duration the worker
+            dwells (real ``sleep``) after commit, outside the commit
+            lock -- stands in for waiting out the switch RPCs and
+            client snapshots a hardware deployment overlaps across
+            concurrent admissions.  0 (default) disables dwelling.
+        clock/sleep: injectable time sources for deterministic tests.
+        seed: seeds the backoff jitter.
+        telemetry: metrics registry; defaults to the controller's.
+    """
+
+    def __init__(
+        self,
+        controller: ActiveRmtController,
+        workers: int = 4,
+        queue_limit: int = 256,
+        default_deadline_s: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        retry_after_s: float = 0.05,
+        pacing: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+        telemetry: Optional[MetricsRegistry] = None,
+        autostart: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.controller = controller
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.default_deadline_s = default_deadline_s
+        self.backoff = backoff or BackoffPolicy()
+        self.retry_after_s = retry_after_s
+        self.pacing = pacing
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.telemetry = telemetry if telemetry is not None else controller.telemetry
+        #: Committed operations in serialization order (under the
+        #: commit lock): the witness order for the linearizability
+        #: property -- replaying it serially reproduces the pools.
+        self.commit_log: List[CommitLogEntry] = []
+        self._queue: Deque[Union[AdmissionTicket, BatchTicket]] = collections.deque()
+        self._cv = threading.Condition()
+        self._commit_lock = threading.Lock()
+        self._outstanding = 0
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        if workers > 0 and autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the planner workers (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"admission-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; optionally wait for workers to exit.
+
+        Queued requests are still drained before the workers stop.
+        """
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "AdmissionService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has resolved."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._outstanding > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cv.wait(remaining)
+        return True
+
+    # ------------------------------------------------------------------
+    # The unified request API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        request: ProvisioningRequest,
+        deadline_s: Optional[float] = None,
+    ) -> AdmissionTicket:
+        """Queue one :class:`ProvisioningRequest`; returns its ticket.
+
+        Never raises for load: a full queue resolves the ticket
+        immediately with a ``SHED`` report carrying ``retry_after_s``.
+        """
+        now = self._clock()
+        ticket = AdmissionTicket(request, now, self._absolute_deadline(now, deadline_s))
+        self._enqueue(ticket)
+        return ticket
+
+    def submit_and_wait(
+        self,
+        request: ProvisioningRequest,
+        deadline_s: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> ProvisioningReport:
+        """Convenience: submit and block for the report."""
+        return self.submit(request, deadline_s=deadline_s).result(timeout)
+
+    def submit_many(
+        self,
+        requests: Sequence[ProvisioningRequest],
+        deadline_s: Optional[float] = None,
+    ) -> BatchTicket:
+        """Queue an atomic admission group (single shadow, single journal).
+
+        Every request must be a non-dry-run admission.  The group
+        either commits in full or leaves no trace: an infeasible member
+        rejects the whole group before any state is touched, and a
+        mid-batch switch-side failure rolls every member back.
+        """
+        if not requests:
+            raise AdmissionServiceError("submit_many() needs at least one request")
+        for request in requests:
+            if request.kind is not RequestKind.ADMIT or request.dry_run:
+                raise AdmissionServiceError(
+                    "batched submission accepts only non-dry-run admissions"
+                )
+        fids = [request.fid for request in requests]
+        if len(set(fids)) != len(fids):
+            raise AdmissionServiceError(f"duplicate fids in batch: {sorted(fids)}")
+        now = self._clock()
+        ticket = BatchTicket(
+            tuple(requests), now, self._absolute_deadline(now, deadline_s)
+        )
+        self._enqueue(ticket)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Queueing
+    # ------------------------------------------------------------------
+
+    def _absolute_deadline(self, now: float, deadline_s: Optional[float]) -> float:
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return math.inf if deadline_s is None else now + deadline_s
+
+    def _enqueue(self, ticket: Union[AdmissionTicket, BatchTicket]) -> None:
+        if self.workers == 0:
+            with self._cv:
+                if self._closed:
+                    raise AdmissionServiceError("admission service is closed")
+                self._outstanding += 1
+            try:
+                self._process(ticket)
+            except BaseException as exc:  # propagate through the ticket
+                self._fail(ticket, exc)
+                raise
+            return
+        with self._cv:
+            if self._closed:
+                raise AdmissionServiceError("admission service is closed")
+            if len(self._queue) >= self.queue_limit:
+                self._count_shed("queue_full")
+                # Never entered the outstanding count: counted=False.
+                self._resolve_shed_locked(
+                    ticket, reason="admission queue full", counted=False
+                )
+                return
+            self._outstanding += 1
+            self._queue.append(ticket)
+            self._gauge_depth(len(self._queue))
+            self._cv.notify()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # closed and drained
+                ticket = self._queue.popleft()
+                self._gauge_depth(len(self._queue))
+            try:
+                self._process(ticket)
+            except BaseException as exc:
+                self._fail(ticket, exc)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def _process(self, ticket: Union[AdmissionTicket, BatchTicket]) -> None:
+        if isinstance(ticket, BatchTicket):
+            self._process_batch(ticket)
+            return
+        request = ticket.request
+        if request.kind is RequestKind.ADMIT and not request.dry_run:
+            self._process_admission(ticket)
+            return
+        if request.kind is RequestKind.ADMIT and request.dry_run:
+            # What-if probes plan against a shadow -- no lock held
+            # during the search, nothing to commit afterwards.
+            if self._past_deadline(ticket):
+                return
+            shadow = self._snapshot_shadow()
+            plan = shadow.plan(request.fid, request.pattern)
+            self._resolve(ticket, self.controller._report_dry_run(plan))
+            return
+        # Withdrawals and digests mutate for sure: serialize the whole
+        # request on the commit path (they are short).
+        if self._past_deadline(ticket):
+            return
+        with self._commit_lock:
+            report = self.controller.submit(request)
+            if report.success and request.kind is RequestKind.WITHDRAW:
+                self.commit_log.append(("withdraw", request.fid))
+        self._resolve(ticket, report)
+
+    def _process_admission(self, ticket: AdmissionTicket) -> None:
+        """The optimistic loop: shadow-plan, commit, re-plan on conflict."""
+        request = ticket.request
+        attempt = 0
+        while True:
+            if self._past_deadline(ticket):
+                return
+            shadow = self._snapshot_shadow()
+            try:
+                plan = shadow.plan(request.fid, request.pattern)
+            except AllocationError as exc:
+                # A rival admission of the same fid won the race (or the
+                # caller re-submitted a resident fid): a rejection, not
+                # an error -- the service must stay up under misuse.
+                self._resolve(
+                    ticket,
+                    ProvisioningReport(
+                        fid=request.fid if request.fid is not None else -1,
+                        success=False,
+                        reason=str(exc),
+                    ),
+                )
+                return
+            try:
+                with self._commit_lock:
+                    report = self.controller.commit_plan(
+                        plan, program=request.program
+                    )
+                    if report.success:
+                        self.commit_log.append(("admit", request.fid))
+            except StalePlanError:
+                attempt += 1
+                if not self._backoff(ticket, attempt):
+                    return  # deadline hit while backing off: shed
+                continue
+            self._dwell(report)
+            self._resolve(ticket, report)
+            return
+
+    def _process_batch(self, ticket: BatchTicket) -> None:
+        """Plan the group against one shadow; commit under one journal."""
+        requests = ticket.requests
+        attempt = 0
+        while True:
+            if self._past_deadline(ticket):
+                return
+            shadow = self._snapshot_shadow()
+            base_version = shadow.version
+            plans: List[AllocationPlan] = []
+            infeasible: Optional[AllocationPlan] = None
+            for request in requests:
+                plan = shadow.plan(request.fid, request.pattern)
+                if not plan.feasible:
+                    infeasible = plan
+                    break
+                plans.append(plan)
+                # Rehearse onto the shadow so the next member's plan
+                # sees this grant; the plan itself stays PENDING for
+                # the real commit.
+                shadow.rehearse(plan)
+            if infeasible is not None:
+                with self._commit_lock:
+                    if self.controller.allocator.version != base_version:
+                        stale = True
+                    else:
+                        stale = False
+                        bad_report = self.controller._report_infeasible(infeasible)
+                if stale:
+                    attempt += 1
+                    if not self._backoff(ticket, attempt):
+                        return
+                    continue
+                for plan in plans:
+                    self.controller.allocator.abort(plan)
+                reports = []
+                for request in requests:
+                    if request.fid == infeasible.fid:
+                        reports.append(bad_report)
+                    else:
+                        reports.append(
+                            ProvisioningReport(
+                                fid=request.fid if request.fid is not None else -1,
+                                success=False,
+                                reason=(
+                                    "batch aborted: no feasible mutant for "
+                                    f"fid {infeasible.fid}"
+                                ),
+                            )
+                        )
+                self._resolve_batch(
+                    ticket, BatchReport(reports, ProvisioningStatus.REJECTED)
+                )
+                return
+            programs = [request.program for request in requests]
+            try:
+                with self._commit_lock:
+                    reports = self.controller.commit_batch(plans, programs)
+                    if all(report.success for report in reports):
+                        for request in requests:
+                            self.commit_log.append(("admit", request.fid))
+            except StalePlanError:
+                attempt += 1
+                if not self._backoff(ticket, attempt):
+                    return
+                continue
+            if all(report.success for report in reports):
+                status = ProvisioningStatus.ADMITTED
+            elif any(report.rolled_back for report in reports):
+                status = ProvisioningStatus.ROLLED_BACK
+            else:
+                status = ProvisioningStatus.REJECTED
+            for report in reports:
+                self._dwell(report)
+            self._resolve_batch(ticket, BatchReport(reports, status))
+            return
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _snapshot_shadow(self) -> ActiveRmtAllocator:
+        """Clone the pools under the commit lock; plan outside it."""
+        with self._commit_lock:
+            return self.controller.allocator.shadow()
+
+    def _backoff(self, ticket: Union[AdmissionTicket, BatchTicket], attempt: int) -> bool:
+        """Count the conflict, sleep the jittered delay; False = shed."""
+        self._count("admission_commit_conflicts_total",
+                    "Optimistic commits refused because the plan went stale")
+        delay = self.backoff.delay(attempt, self._rng)
+        remaining = ticket.deadline - self._clock()
+        if remaining <= 0:
+            return not self._past_deadline(ticket)
+        self._count("admission_plan_retries_total",
+                    "Re-plans after a stale-plan commit rejection")
+        self._sleep(min(delay, remaining))
+        return not self._past_deadline(ticket)
+
+    def _past_deadline(self, ticket: Union[AdmissionTicket, BatchTicket]) -> bool:
+        """Shed the ticket if its deadline has passed."""
+        if self._clock() < ticket.deadline:
+            return False
+        self._count_shed("deadline")
+        self._resolve_shed_locked(ticket, reason="deadline exceeded")
+        return True
+
+    def _dwell(self, report: ProvisioningReport) -> None:
+        """Model waiting out the switch-side work, outside the lock."""
+        if self.pacing > 0 and report.total_seconds > 0:
+            self._sleep(self.pacing * report.total_seconds)
+
+    def _shed_report(self, fid: Optional[int], reason: str) -> ProvisioningReport:
+        return ProvisioningReport(
+            fid=fid if fid is not None else -1,
+            success=False,
+            reason=reason,
+            status=ProvisioningStatus.SHED,
+            retry_after_s=self.retry_after_s,
+        )
+
+    def _resolve_shed_locked(
+        self,
+        ticket: Union[AdmissionTicket, BatchTicket],
+        reason: str,
+        counted: bool = True,
+    ) -> None:
+        if isinstance(ticket, BatchTicket):
+            reports = [
+                self._shed_report(request.fid, reason)
+                for request in ticket.requests
+            ]
+            self._resolve_batch(
+                ticket,
+                BatchReport(
+                    reports, ProvisioningStatus.SHED, retry_after_s=self.retry_after_s
+                ),
+                counted=counted,
+            )
+        else:
+            self._resolve(
+                ticket,
+                self._shed_report(ticket.request.fid, reason),
+                counted=counted,
+            )
+
+    def _resolve(
+        self,
+        ticket: AdmissionTicket,
+        report: ProvisioningReport,
+        counted: bool = True,
+    ) -> None:
+        ticket.resolved_at = self._clock()
+        ticket._report = report
+        self._observe_latency(ticket)
+        ticket._event.set()
+        if counted:
+            self._finish_one()
+
+    def _resolve_batch(
+        self,
+        ticket: BatchTicket,
+        report: BatchReport,
+        counted: bool = True,
+    ) -> None:
+        ticket.resolved_at = self._clock()
+        ticket._report = report
+        self._observe_latency(ticket)
+        ticket._event.set()
+        if counted:
+            self._finish_one()
+
+    def _fail(
+        self, ticket: Union[AdmissionTicket, BatchTicket], error: BaseException
+    ) -> None:
+        ticket.resolved_at = self._clock()
+        ticket._error = error
+        ticket._event.set()
+        self._finish_one()
+
+    def _finish_one(self) -> None:
+        with self._cv:
+            if self._outstanding > 0:
+                self._outstanding -= 1
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, help_text: str, **labels: str) -> None:
+        if self.telemetry.enabled:
+            with self._cv:
+                self.telemetry.counter(name, help=help_text, **labels).inc()
+
+    def _count_shed(self, reason: str) -> None:
+        self._count(
+            "admission_shed_total",
+            "Requests shed gracefully (retry-after response, not an error)",
+            reason=reason,
+        )
+
+    def _gauge_depth(self, depth: int) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "admission_queue_depth",
+                help="Requests waiting in the admission queue",
+            ).set(depth)
+
+    def _observe_latency(self, ticket: Union[AdmissionTicket, BatchTicket]) -> None:
+        if self.telemetry.enabled and ticket.resolved_at is not None:
+            with self._cv:
+                self.telemetry.histogram(
+                    "admission_latency_seconds",
+                    buckets=LATENCY_BUCKETS_S,
+                    help="Submit-to-resolution latency through the service",
+                ).observe(max(0.0, ticket.resolved_at - ticket.submitted_at))
+
+
+# ----------------------------------------------------------------------
+# Linearization witness
+# ----------------------------------------------------------------------
+
+
+def replay_commit_log(
+    log: Sequence[CommitLogEntry],
+    patterns: Dict[int, AccessPattern],
+    controller: ActiveRmtController,
+) -> None:
+    """Replay a commit log serially onto a fresh *controller*.
+
+    The concurrent run's pools must end byte-identical to this serial
+    replay (the service's linearizability contract): every commit was
+    validated against the exact allocator version it applied to, so the
+    interleaved execution *is* the serial execution of its commit log.
+    """
+    for kind, fid in log:
+        if kind == "admit":
+            report = controller.admit(fid=fid, pattern=patterns[fid])
+            if not report.success:
+                raise AssertionError(
+                    f"serial replay rejected fid {fid} admitted concurrently: "
+                    f"{report.reason}"
+                )
+        elif kind == "withdraw":
+            controller.withdraw(fid=fid)
+        else:
+            raise ValueError(f"unknown commit-log entry kind {kind!r}")
+
+
+def pools_fingerprint(allocator: ActiveRmtAllocator) -> tuple:
+    """Byte-identity fingerprint of every stage pool's population/layout."""
+    return tuple(
+        (stage, pool.export_residents(), tuple(sorted(pool.layout().items())))
+        for stage, pool in sorted(allocator.pools.items())
+    )

@@ -45,6 +45,7 @@ from repro.core.transactions import (
     CommitResult,
     PlanState,
     PoolSnapshot,
+    StalePlanError,
     TableUpdateJournal,
     TransactionError,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "CommitResult",
     "PlanState",
     "PoolSnapshot",
+    "StalePlanError",
     "TableUpdateJournal",
     "TransactionError",
 ]

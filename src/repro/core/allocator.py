@@ -36,11 +36,12 @@ from repro.core.transactions import (
     CommitResult,
     PlanState,
     PoolSnapshot,
+    StalePlanError,
     TransactionError,
 )
 from repro.packets.headers import AllocationResponseHeader, StageRegion
 from repro.switchsim.config import SwitchConfig
-from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
+from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, NULL_REGISTRY, resolve
 
 
 class AllocationError(Exception):
@@ -263,7 +264,7 @@ class ActiveRmtAllocator:
                 f"cannot commit infeasible plan for fid {plan.fid}"
             )
         if plan.basis_version != self._version:
-            raise TransactionError(
+            raise StalePlanError(
                 f"stale plan for fid {plan.fid}: computed against version "
                 f"{plan.basis_version}, allocator is at {self._version}"
             )
@@ -294,6 +295,70 @@ class ActiveRmtAllocator:
             checkpoint=checkpoint,
             apply_seconds=apply_seconds,
         )
+
+    def shadow(self) -> "ActiveRmtAllocator":
+        """A copy-on-write planning twin of this allocator.
+
+        The shadow owns cloned stage pools and a copied app table but
+        shares the immutable config/scheme/policy; plans computed
+        against it carry this allocator's current version stamp, so
+        they commit cleanly here as long as no other commit, release,
+        or rollback intervened -- and raise :class:`StalePlanError`
+        otherwise.  This is the speculative half of the optimistic
+        plan/commit pipeline: many shadows can plan in parallel while
+        only the short commit path serializes.
+
+        Shadows record no telemetry (their planning is speculative and
+        may be discarded), and taking one must be serialized with
+        commits -- the caller snapshots under the same lock that
+        guards :meth:`commit`.
+        """
+        twin = ActiveRmtAllocator.__new__(ActiveRmtAllocator)
+        twin.config = self.config
+        twin.scheme = self.scheme
+        twin.policy = self.policy
+        twin.telemetry = NULL_REGISTRY
+        twin.pools = {stage: pool.clone() for stage, pool in self.pools.items()}
+        twin.apps = dict(self.apps)
+        twin._arrival_counter = self._arrival_counter
+        twin._version = self._version
+        return twin
+
+    def rehearse(self, plan: AllocationPlan) -> None:
+        """Apply a feasible plan to *this* allocator without spending it.
+
+        Batched admission plans several fids against one shadow:
+        rehearsing each plan onto the shadow lets later plans see
+        earlier grants, while every plan stays ``PENDING`` so the real
+        allocator can still :meth:`commit` it.  Rehearsal advances the
+        shadow's version and arrival counter exactly as the real commit
+        will, keeping the whole group's basis stamps consistent.
+        """
+        if plan.state is not PlanState.PENDING:
+            raise TransactionError(
+                f"plan for fid {plan.fid} already {plan.state.value}"
+            )
+        if not plan.feasible:
+            raise TransactionError(
+                f"cannot rehearse infeasible plan for fid {plan.fid}"
+            )
+        if plan.basis_version != self._version:
+            raise StalePlanError(
+                f"stale plan for fid {plan.fid}: computed against version "
+                f"{plan.basis_version}, allocator is at {self._version}"
+            )
+        self._arrival_counter += 1
+        assert self._arrival_counter == plan.planned_arrival
+        for stage, demand in plan.demand_by_stage.items():
+            self.pools[stage].add(plan.fid, demand, self._arrival_counter)
+        self.apps[plan.fid] = AppRecord(
+            fid=plan.fid,
+            pattern=plan.pattern,
+            mutant=plan.mutant,
+            arrival=self._arrival_counter,
+            demand_by_stage=dict(plan.demand_by_stage),
+        )
+        self._version += 1
 
     def abort(self, plan: AllocationPlan) -> None:
         """Discard a pending plan.  Nothing to undo: plans are pure."""

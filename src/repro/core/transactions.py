@@ -50,6 +50,19 @@ class TransactionError(Exception):
     """Raised on transactional misuse (double commit, journal reuse)."""
 
 
+class StalePlanError(TransactionError):
+    """A plan's basis version no longer matches the allocator's.
+
+    Raised by :meth:`~repro.core.allocator.ActiveRmtAllocator.commit`
+    (and the controller's plan-commit entry points) when some other
+    commit, release, or rollback moved the state on after the plan was
+    computed.  This is the expected-and-recoverable outcome of
+    optimistic concurrency -- the admission service catches it and
+    re-plans against a fresh shadow -- as opposed to the programming
+    errors the :class:`TransactionError` base signals.
+    """
+
+
 #: fid -> physical stage -> (old range or None, new range or None).
 #: Mirrors :data:`repro.core.allocator.ReallocationMap`; duplicated here
 #: so the transaction types do not import the allocator module.

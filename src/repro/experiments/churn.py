@@ -1,0 +1,293 @@
+"""Admission churn through the concurrent control plane.
+
+Not a paper figure: the paper provisions one request at a time (~1 s
+each, Figure 8a).  This experiment drives Poisson arrivals and
+departures (Section 6.1's online process) through the
+:class:`AdmissionService` at several worker counts and reports admission
+throughput, latency percentiles, and shed rate -- the concurrency win
+the optimistic plan/commit pipeline buys over the serial front door.
+
+Each admission dwells ``pacing`` x its *modeled* provisioning time
+after commit (standing in for the switch RPCs and client snapshots the
+controller waits out in a hardware deployment); planning and the dwell
+overlap across workers, only the short commit is serialized.  After
+every run the service's commit log is replayed serially onto a fresh
+controller and the stage pools must match byte for byte -- the
+linearizability check that makes the speedup trustworthy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import EXEMPLAR_APPS
+from repro.controller.controller import (
+    ProvisioningRequest,
+    ProvisioningStatus,
+)
+from repro.controller.service import (
+    AdmissionService,
+    AdmissionTicket,
+    pools_fingerprint,
+    replay_commit_log,
+)
+from repro.experiments.common import make_controller
+from repro.telemetry import MetricsRegistry, json_snapshot, resolve
+from repro.workloads.arrivals import ArrivalEvent, DepartureEvent, poisson_events
+
+
+@dataclasses.dataclass
+class ChurnRow:
+    """One worker-count configuration's measurements."""
+
+    workers: int
+    elapsed_s: float
+    admitted: int
+    rejected: int
+    shed: int
+    conflicts: int
+    retries: int
+    p50_ms: float
+    p99_ms: float
+    diverged: bool
+
+    @property
+    def throughput(self) -> float:
+        """Committed admissions per wall-clock second."""
+        return self.admitted / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.admitted + self.rejected + self.shed
+        return self.shed / total if total else 0.0
+
+
+@dataclasses.dataclass
+class ChurnResult:
+    rows: List[ChurnRow]
+    arrivals: int
+    departures: int
+    seed: int
+    pacing: float
+    batch_status: str
+    batch_size: int
+
+    @property
+    def speedup(self) -> float:
+        """Throughput at the highest worker count over single-worker."""
+        base = next((r for r in self.rows if r.workers == 1), self.rows[0])
+        peak = max(self.rows, key=lambda r: r.workers)
+        return peak.throughput / base.throughput if base.throughput else 0.0
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _counter_total(registry: MetricsRegistry, prefix: str) -> float:
+    counters: Dict[str, float] = json_snapshot(registry).get("counters", {})
+    return sum(
+        value for series, value in counters.items() if series.startswith(prefix)
+    )
+
+
+def _run_registry() -> MetricsRegistry:
+    """The process registry when recording (so ``--stats-out`` captures
+    the service counters), else a private one for the run's numbers."""
+    registry = resolve(None)
+    return registry if registry.enabled else MetricsRegistry()
+
+
+def run_churn(
+    epochs: int = 30,
+    arrival_mean: float = 2.0,
+    departure_mean: float = 1.0,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 7,
+    pacing: float = 3e-2,
+    deadline_s: Optional[float] = 30.0,
+    queue_limit: int = 1024,
+    batch_size: int = 6,
+) -> ChurnResult:
+    """Drive one Poisson workload through the service per worker count.
+
+    The same event sequence (same seed) runs at every worker count, so
+    rows differ only in concurrency.  Departures wait for their fid's
+    admission to resolve first (the generator only departs fids it
+    arrived), then withdraw through the same service queue.
+    """
+    registry = _run_registry()
+    rows: List[ChurnRow] = []
+    arrivals = departures = 0
+    for workers in worker_counts:
+        events = list(
+            poisson_events(
+                epochs=epochs,
+                arrival_mean=arrival_mean,
+                departure_mean=departure_mean,
+                seed=seed,
+            )
+        )
+        arrivals = sum(1 for e in events if isinstance(e, ArrivalEvent))
+        departures = len(events) - arrivals
+        patterns = {
+            name: spec.pattern() for name, spec in EXEMPLAR_APPS.items()
+        }
+        controller = make_controller()
+        service = AdmissionService(
+            controller,
+            workers=workers,
+            queue_limit=queue_limit,
+            default_deadline_s=deadline_s,
+            pacing=pacing,
+            seed=seed,
+            telemetry=registry,
+        )
+        conflicts_before = _counter_total(
+            registry, "admission_commit_conflicts_total"
+        )
+        retries_before = _counter_total(registry, "admission_plan_retries_total")
+
+        tickets: Dict[int, AdmissionTicket] = {}
+        pattern_of_fid = {}
+        # Withdrawals must trail their fid's admission; rather than
+        # blocking the driver (which would starve the worker pipeline),
+        # departures of still-in-flight admissions are deferred and
+        # retried as later events stream in.
+        deferred: List[int] = []
+
+        def try_withdraw(fid: int) -> bool:
+            ticket = tickets[fid]
+            if not ticket.done():
+                return False
+            if ticket.result().success:
+                service.submit(ProvisioningRequest.withdrawal(fid=fid))
+            return True
+
+        started = time.perf_counter()
+        for event in events:
+            if isinstance(event, DepartureEvent):
+                if event.fid in tickets and not try_withdraw(event.fid):
+                    deferred.append(event.fid)
+                continue
+            pattern = patterns[event.app_name]
+            pattern_of_fid[event.fid] = pattern
+            tickets[event.fid] = service.submit(
+                ProvisioningRequest.admission(fid=event.fid, pattern=pattern)
+            )
+            deferred = [fid for fid in deferred if not try_withdraw(fid)]
+        for fid in deferred:
+            tickets[fid].result(timeout=deadline_s)
+            try_withdraw(fid)
+        service.drain()
+        elapsed = time.perf_counter() - started
+
+        latencies = sorted(
+            ticket.resolved_at - ticket.submitted_at
+            for ticket in tickets.values()
+            if ticket.resolved_at is not None
+        )
+        reports = [ticket.result(timeout=deadline_s) for ticket in tickets.values()]
+        admitted = sum(
+            1 for r in reports if r.status is ProvisioningStatus.ADMITTED
+        )
+        shed = sum(1 for r in reports if r.status is ProvisioningStatus.SHED)
+        rejected = len(reports) - admitted - shed
+
+        # Linearizability witness: the concurrent run must equal the
+        # serial execution of its own commit log, byte for byte.
+        replay = make_controller()
+        replay_commit_log(service.commit_log, pattern_of_fid, replay)
+        diverged = pools_fingerprint(controller.allocator) != pools_fingerprint(
+            replay.allocator
+        )
+        service.close()
+
+        rows.append(
+            ChurnRow(
+                workers=workers,
+                elapsed_s=elapsed,
+                admitted=admitted,
+                rejected=rejected,
+                shed=shed,
+                conflicts=int(
+                    _counter_total(registry, "admission_commit_conflicts_total")
+                    - conflicts_before
+                ),
+                retries=int(
+                    _counter_total(registry, "admission_plan_retries_total")
+                    - retries_before
+                ),
+                p50_ms=_percentile(latencies, 0.50) * 1e3,
+                p99_ms=_percentile(latencies, 0.99) * 1e3,
+                diverged=diverged,
+            )
+        )
+
+    # Batched admission: one shadow, one journal, all-or-nothing.
+    controller = make_controller()
+    with AdmissionService(controller, workers=2, telemetry=registry) as service:
+        cache = EXEMPLAR_APPS["cache"].pattern()
+        batch = service.submit_many(
+            [
+                ProvisioningRequest.admission(fid=9000 + i, pattern=cache)
+                for i in range(batch_size)
+            ]
+        )
+        batch_status = batch.result(timeout=60.0).status.value
+
+    return ChurnResult(
+        rows=rows,
+        arrivals=arrivals,
+        departures=departures,
+        seed=seed,
+        pacing=pacing,
+        batch_status=batch_status,
+        batch_size=batch_size,
+    )
+
+
+def format_churn(result: ChurnResult) -> str:
+    lines = [
+        "Admission churn through the concurrent control plane",
+        "(optimistic plan/commit: parallel shadow planning, serial commit)",
+        "",
+        f"workload: {result.arrivals} arrivals / {result.departures} "
+        f"departures (Poisson, seed {result.seed}); dwell = "
+        f"{result.pacing:g} x modeled provisioning time",
+        "",
+        f"{'workers':>7} {'tput(adm/s)':>12} {'p50(ms)':>8} {'p99(ms)':>8} "
+        f"{'admitted':>8} {'rejected':>8} {'shed':>5} {'conflicts':>9} "
+        f"{'retries':>8} {'diverged':>8}",
+    ]
+    for row in result.rows:
+        lines.append(
+            f"{row.workers:>7} {row.throughput:>12.1f} {row.p50_ms:>8.1f} "
+            f"{row.p99_ms:>8.1f} {row.admitted:>8} {row.rejected:>8} "
+            f"{row.shed:>5} {row.conflicts:>9} {row.retries:>8} "
+            f"{'YES' if row.diverged else 'no':>8}"
+        )
+    peak = max(result.rows, key=lambda r: r.workers)
+    lines.append("")
+    lines.append(
+        f"speedup at {peak.workers} workers vs 1: {result.speedup:.2f}x "
+        f"(target >= 2.0x at equal rejection rate)"
+    )
+    lines.append(
+        f"batch admission: {result.batch_size} fids under one journal -> "
+        f"{result.batch_status}"
+    )
+    return "\n".join(lines)
+
+
+def main(
+    epochs: int = 30,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 7,
+) -> str:
+    return format_churn(run_churn(epochs=epochs, worker_counts=worker_counts, seed=seed))

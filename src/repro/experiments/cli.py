@@ -121,6 +121,17 @@ def _whatif(quick: bool) -> str:
     return whatif.main(arrivals=20 if quick else 60)
 
 
+def _churn(quick: bool) -> str:
+    from repro.experiments import churn
+
+    # ACTIVERMT_CHURN_EPOCHS scales the workload without a new CLI flag
+    # (the CI soak job runs a few hundred epochs against a fixed seed).
+    epochs = int(os.environ.get("ACTIVERMT_CHURN_EPOCHS", 0)) or (
+        10 if quick else 30
+    )
+    return churn.main(epochs=epochs)
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -136,6 +147,9 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     # Not a paper figure: dry-run admission probing enabled by the
     # transactional control plane (plans are free until committed).
     "whatif": _whatif,
+    # Not a paper figure: Poisson churn through the concurrent
+    # admission service (throughput/latency/shed vs worker count).
+    "churn": _churn,
 }
 
 

@@ -81,12 +81,12 @@ def drive_events(
     for event in events:
         if isinstance(event, DepartureEvent):
             if event.fid in app_of_fid:
-                controller.withdraw(event.fid)
+                controller.withdraw(fid=event.fid)
                 del app_of_fid[event.fid]
             continue
         assert isinstance(event, ArrivalEvent)
         pattern = patterns[event.app_name]
-        report = controller.admit(event.fid, pattern)
+        report = controller.admit(fid=event.fid, pattern=pattern)
         if report.success:
             admitted += 1
             app_of_fid[event.fid] = event.app_name

@@ -79,7 +79,7 @@ def run(
             failed = 0
             for event in events:
                 report = controller.admit(
-                    event.fid, patterns[event.app_name]
+                    fid=event.fid, pattern=patterns[event.app_name]
                 )
                 times.append(report.compute_seconds)
                 if report.success:

@@ -53,7 +53,7 @@ def probe_all_apps(
     for offset, (name, spec) in enumerate(sorted(EXEMPLAR_APPS.items())):
         before = _state_fingerprint(controller)
         report = controller.admit(
-            probe_fid + offset, spec.pattern(), dry_run=True
+            fid=probe_fid + offset, pattern=spec.pattern(), dry_run=True
         )
         if _state_fingerprint(controller) != before:
             raise AssertionError(f"dry-run probe for {name!r} mutated state")
@@ -81,7 +81,7 @@ def main(arrivals: int = 60) -> str:
     next_fid = 0
     for target in checkpoints:
         while admitted < target:
-            if controller.admit(next_fid, cache).success:
+            if controller.admit(fid=next_fid, pattern=cache).success:
                 admitted += 1
             next_fid += 1
             if next_fid > 4 * arrivals:

@@ -17,9 +17,13 @@ reflect each phase:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.controller.controller import ActiveRmtController
+from repro.controller.controller import (
+    ActiveRmtController,
+    ProvisioningRequest,
+)
+from repro.controller.service import AdmissionService
 from repro.core.constraints import AccessPattern
 from repro.packets.codec import ActivePacket
 from repro.packets.headers import (
@@ -41,10 +45,17 @@ class SimProvisioner:
         controller: ActiveRmtController,
         poll_interval_s: float = 100e-6,
         horizon_s: float = 120.0,
+        service: Optional[AdmissionService] = None,
     ) -> None:
         self.loop = loop
         self.network = network
         self.controller = controller
+        #: Admissions flow through the unified request API.  The
+        #: default inline service (workers=0) runs the plan/commit
+        #: pipeline on the event-loop thread -- simulated time is
+        #: single-threaded -- while still exercising the same code
+        #: path the concurrent deployment uses.
+        self.service = service or AdmissionService(controller, workers=0)
         self.provisioning_log: List[Dict] = []
         #: fid -> AccessPattern used instead of the wire-decoded one;
         #: lets locally-known constraints (e.g. the heavy hitter's
@@ -65,7 +76,9 @@ class SimProvisioner:
     def _control(self, packet: ActivePacket) -> None:
         if packet.has_flag(ControlFlags.DEALLOCATE):
             try:
-                self.controller.withdraw(packet.fid)
+                self.service.submit_and_wait(
+                    ProvisioningRequest.withdrawal(fid=packet.fid)
+                )
             except Exception:
                 pass
         elif packet.has_flag(ControlFlags.SNAPSHOT_COMPLETE):
@@ -81,12 +94,15 @@ class SimProvisioner:
             request.request, name=f"fid{fid}"
         )
         self.controller.register_client(fid, request.eth.src)
-        report = self.controller.admit(fid, pattern)
+        report = self.service.submit_and_wait(
+            ProvisioningRequest.admission(fid=fid, pattern=pattern)
+        )
         self.provisioning_log.append(
             {
                 "time": self.loop.now,
                 "fid": fid,
                 "success": report.success,
+                "status": report.status.value,
                 "compute_seconds": report.compute_seconds,
                 "snapshot_seconds": report.snapshot_seconds,
                 "table_update_seconds": report.table_update_seconds,

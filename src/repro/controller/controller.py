@@ -47,7 +47,14 @@ from repro.packets.ethernet import MacAddress
 from repro.packets.headers import ControlFlags, PacketType
 from repro.switchsim.switch import ActiveSwitch
 from repro.switchsim.tables import TcamCapacityError
-from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, resolve
+from repro.telemetry import (
+    AnyTracer,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    resolve,
+    resolve_tracer,
+)
+from repro.telemetry.tracing import ParentLike, context_of
 
 
 class ControllerError(Exception):
@@ -271,9 +278,11 @@ class ActiveRmtController:
         snapshot_cost: Optional[SnapshotCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
         verify: Union[CompileOptions, VerifyMode, str] = VerifyMode.WARN,
+        tracer: Optional[AnyTracer] = None,
     ) -> None:
         self.switch = switch
         self.telemetry = resolve(telemetry)
+        self.tracer = resolve_tracer(tracer)
         #: Admission-time static verification policy: ``strict`` rejects
         #: any error-severity finding before commit, ``warn`` (default)
         #: records findings without blocking, ``off`` skips analysis
@@ -282,10 +291,17 @@ class ActiveRmtController:
         #: bag, whose ``verify`` field is used.
         self.verify = CompileOptions.coerce(verify).verify
         self.allocator = ActiveRmtAllocator(
-            switch.config, scheme=scheme, policy=policy, telemetry=self.telemetry
+            switch.config,
+            scheme=scheme,
+            policy=policy,
+            telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         self.updater = TableUpdateEngine(
-            switch.pipeline, table_cost, telemetry=self.telemetry
+            switch.pipeline,
+            table_cost,
+            telemetry=self.telemetry,
+            tracer=self.tracer,
         )
         self.snapshot_cost = snapshot_cost or SnapshotCost()
         self.mac = MacAddress.from_host_id(0xC0FFEE)
@@ -305,13 +321,17 @@ class ActiveRmtController:
     # Unified entry point
     # ------------------------------------------------------------------
 
-    def submit(self, request: ProvisioningRequest) -> ProvisioningReport:
+    def submit(
+        self, request: ProvisioningRequest, ctx: ParentLike = None
+    ) -> ProvisioningReport:
         """Execute one control-plane request and report the outcome.
 
         Every controller action -- admission, withdrawal, digest
         handling -- funnels through here; `admit`, `withdraw`, and
         `handle_digest` are thin wrappers that build the matching
-        :class:`ProvisioningRequest`.
+        :class:`ProvisioningRequest`.  *ctx* is the trace context the
+        controller's spans are parented under (the admission service
+        passes its per-request span; direct callers may omit it).
         """
         if request.kind is RequestKind.ADMIT:
             if request.fid is None or request.pattern is None:
@@ -321,11 +341,12 @@ class ActiveRmtController:
                 request.pattern,
                 dry_run=request.dry_run,
                 program=request.program,
+                ctx=ctx,
             )
         if request.kind is RequestKind.WITHDRAW:
             if request.fid is None:
                 raise ControllerError("withdrawal requires fid")
-            return self._do_withdraw(request.fid)
+            return self._do_withdraw(request.fid, ctx=ctx)
         if request.kind is RequestKind.DIGEST:
             if request.digest is None:
                 raise ControllerError("digest request requires a packet")
@@ -431,6 +452,7 @@ class ActiveRmtController:
         pattern: AccessPattern,
         dry_run: bool = False,
         program: Optional[ActiveProgram] = None,
+        ctx: ParentLike = None,
     ) -> ProvisioningReport:
         """Two-phase admission: plan, verify, commit, apply, or roll back.
 
@@ -447,12 +469,27 @@ class ActiveRmtController:
         pools, table entries, register contents, activation state --
         byte-identical to the pre-request state.
         """
-        plan = self.allocator.plan(fid, pattern)
-        if dry_run:
-            return self._report_dry_run(plan)
-        if not plan.feasible:
-            return self._report_infeasible(plan)
-        return self._commit_feasible(plan, program=program)
+        tracer = self.tracer
+        if not tracer.enabled:
+            plan = self.allocator.plan(fid, pattern)
+            if dry_run:
+                return self._report_dry_run(plan)
+            if not plan.feasible:
+                return self._report_infeasible(plan)
+            return self._commit_feasible(plan, program=program)
+        with tracer.span(
+            "controller.admit", parent=ctx, fid=fid, dry_run=dry_run
+        ) as span:
+            plan = self.allocator.plan(fid, pattern, ctx=span)
+            if dry_run:
+                report = self._report_dry_run(plan)
+            elif not plan.feasible:
+                report = self._report_infeasible(plan)
+            else:
+                report = self._commit_feasible(plan, program=program, ctx=span)
+            assert report.status is not None
+            span.set(status=report.status.value)
+            return report
 
     # ------------------------------------------------------------------
     # Optimistic plan/commit entry points (used by AdmissionService)
@@ -462,6 +499,7 @@ class ActiveRmtController:
         self,
         plan: AllocationPlan,
         program: Optional[ActiveProgram] = None,
+        ctx: ParentLike = None,
     ) -> ProvisioningReport:
         """Commit a plan computed elsewhere -- typically against a shadow.
 
@@ -473,20 +511,42 @@ class ActiveRmtController:
         for infeasible plans, whose infeasibility may itself be an
         artifact of the stale shadow -- and the caller re-plans.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._check_basis(plan)
+            if not plan.feasible:
+                return self._report_infeasible(plan)
+            return self._commit_feasible(plan, program=program)
+        # The stale check runs inside the span so a StalePlanError is
+        # recorded as this commit attempt's error before propagating.
+        with tracer.span(
+            "controller.commit_plan",
+            parent=ctx,
+            fid=plan.fid,
+            basis_version=plan.basis_version,
+        ) as span:
+            self._check_basis(plan)
+            if not plan.feasible:
+                report = self._report_infeasible(plan)
+            else:
+                report = self._commit_feasible(plan, program=program, ctx=span)
+            assert report.status is not None
+            span.set(status=report.status.value)
+            return report
+
+    def _check_basis(self, plan: AllocationPlan) -> None:
         if plan.basis_version != self.allocator.version:
             raise StalePlanError(
                 f"plan for fid {plan.fid} computed against version "
                 f"{plan.basis_version}, allocator is at "
                 f"{self.allocator.version}"
             )
-        if not plan.feasible:
-            return self._report_infeasible(plan)
-        return self._commit_feasible(plan, program=program)
 
     def commit_batch(
         self,
         plans: Sequence[AllocationPlan],
         programs: Optional[Sequence[Optional[ActiveProgram]]] = None,
+        ctx: ParentLike = None,
     ) -> List[ProvisioningReport]:
         """Commit a group of plans under one journal, all-or-nothing.
 
@@ -507,6 +567,25 @@ class ActiveRmtController:
             return []
         if programs is None:
             programs = [None] * len(plans)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._commit_batch_impl(plans, programs, None)
+        with tracer.span(
+            "controller.commit_batch",
+            parent=ctx,
+            size=len(plans),
+            basis_version=plans[0].basis_version,
+        ) as span:
+            reports = self._commit_batch_impl(plans, programs, span)
+            span.set(rolled_back=any(r.rolled_back for r in reports))
+            return reports
+
+    def _commit_batch_impl(
+        self,
+        plans: Sequence[AllocationPlan],
+        programs: Sequence[Optional[ActiveProgram]],
+        ctx: ParentLike,
+    ) -> List[ProvisioningReport]:
         if plans[0].basis_version != self.allocator.version:
             raise StalePlanError(
                 f"batch of {len(plans)} plans computed against version "
@@ -528,15 +607,15 @@ class ActiveRmtController:
                     plans, verifications, rejected_by=plan, kind="verifier"
                 )
 
-        journal = TableUpdateJournal()
+        journal = TableUpdateJournal(tracer=self.tracer, ctx=ctx)
         results = []
         reports: List[ProvisioningReport] = []
         try:
             for plan, verification in zip(plans, verifications):
-                result = self.allocator.commit(plan, record=False)
+                result = self.allocator.commit(plan, record=False, ctx=ctx)
                 results.append(result)
                 table_seconds, snapshot_seconds = self._apply_admission(
-                    plan.fid, result.decision, journal
+                    plan.fid, result.decision, journal, ctx=ctx
                 )
                 reports.append(
                     ProvisioningReport(
@@ -553,7 +632,14 @@ class ActiveRmtController:
         except TcamCapacityError as exc:
             journal.rollback()
             for result in reversed(results):
-                self.allocator.rollback(result)
+                self.allocator.rollback(result, ctx=ctx)
+            self.tracer.anomaly(
+                "rollback",
+                ctx,
+                scope="batch",
+                fid=results[-1].plan.fid,
+                cause=str(exc),
+            )
             reports = [
                 ProvisioningReport(
                     fid=plan.fid,
@@ -575,6 +661,10 @@ class ActiveRmtController:
             return reports
 
         journal.commit_entries()
+        if self.tracer.enabled and ctx is not None:
+            # Packets processed from here on run under the layout this
+            # batch installed; sampled data-path spans parent here.
+            self.tracer.layout_context = context_of(ctx)
         for result, report in zip(results, reports):
             self.allocator.record_decision(result.decision)
             self.reports.append(report)
@@ -645,6 +735,7 @@ class ActiveRmtController:
         self,
         plan: AllocationPlan,
         program: Optional[ActiveProgram] = None,
+        ctx: ParentLike = None,
     ) -> ProvisioningReport:
         """Verify, commit, and apply one feasible plan (or roll back)."""
         fid = plan.fid
@@ -679,12 +770,12 @@ class ActiveRmtController:
         # Decision telemetry is deferred (record=False) until the
         # switch-side updates also succeed, so a rolled-back admission
         # never pollutes the allocator's decision counters.
-        result = self.allocator.commit(plan, record=False)
+        result = self.allocator.commit(plan, record=False, ctx=ctx)
         decision = result.decision
-        journal = TableUpdateJournal()
+        journal = TableUpdateJournal(tracer=self.tracer, ctx=ctx)
         try:
             table_seconds, snapshot_seconds = self._apply_admission(
-                fid, decision, journal
+                fid, decision, journal, ctx=ctx
             )
         except TcamCapacityError as exc:
             # The allocator found room in register memory but the stage
@@ -693,7 +784,10 @@ class ActiveRmtController:
             # entries, activations, register scrubs) and restore the
             # allocator checkpoint: exact pre-request state.
             journal.rollback()
-            self.allocator.rollback(result)
+            self.allocator.rollback(result, ctx=ctx)
+            self.tracer.anomaly(
+                "rollback", ctx, scope="single", fid=fid, cause=str(exc)
+            )
             report = ProvisioningReport(
                 fid=fid,
                 success=False,
@@ -709,6 +803,10 @@ class ActiveRmtController:
             return report
 
         journal.commit_entries()
+        if self.tracer.enabled and ctx is not None:
+            # Packets processed from here on run under the layout this
+            # commit installed; sampled data-path spans parent here.
+            self.tracer.layout_context = context_of(ctx)
         self.allocator.record_decision(decision)
         report = ProvisioningReport(
             fid=fid,
@@ -795,6 +893,7 @@ class ActiveRmtController:
         fid: int,
         decision: AllocationDecision,
         journal: TableUpdateJournal,
+        ctx: ParentLike = None,
     ) -> Tuple[float, float]:
         """Apply a committed admission to the switch (Section 4.3).
 
@@ -808,7 +907,9 @@ class ActiveRmtController:
         impacted = decision.reallocated_fids
         # 1. Deactivate impacted applications (consistent snapshot).
         for other in impacted:
-            table_seconds += self.updater.deactivate(other, journal=journal)
+            table_seconds += self.updater.deactivate(
+                other, journal=journal, ctx=ctx
+            )
         # 2. Clients extract state from the frozen snapshot.
         for other in impacted:
             paged_blocks = sum(
@@ -824,17 +925,23 @@ class ActiveRmtController:
         block_words = self.switch.config.block_words
         for other in impacted:
             table_seconds += self.updater.reinstall_app(
-                other, self._current_regions(other), block_words, journal=journal
+                other,
+                self._current_regions(other),
+                block_words,
+                journal=journal,
+                ctx=ctx,
             )
         # 4. Scrub and install the newcomer's regions.
         for stage, block_range in decision.regions.items():
             self._scrub_region(stage, block_range, block_words, journal)
         table_seconds += self.updater.install_app(
-            fid, decision.regions, block_words, journal=journal
+            fid, decision.regions, block_words, journal=journal, ctx=ctx
         )
         # 5. Reactivate everyone.
         for other in impacted:
-            table_seconds += self.updater.reactivate(other, journal=journal)
+            table_seconds += self.updater.reactivate(
+                other, journal=journal, ctx=ctx
+            )
         return table_seconds, snapshot_seconds
 
     def _scrub_region(
@@ -861,8 +968,18 @@ class ActiveRmtController:
             ),
         )
 
-    def _do_withdraw(self, fid: int) -> ProvisioningReport:
-        seconds = self._withdraw_tables(fid)
+    def _do_withdraw(
+        self, fid: int, ctx: ParentLike = None
+    ) -> ProvisioningReport:
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "controller.withdraw", parent=ctx, fid=fid
+            ) as span:
+                seconds = self._withdraw_tables(fid, ctx=span)
+                span.set(seconds=seconds)
+        else:
+            seconds = self._withdraw_tables(fid)
         tel = self.telemetry
         if tel.enabled:
             tel.counter(
@@ -878,16 +995,16 @@ class ActiveRmtController:
             fid=fid, success=True, table_update_seconds=seconds
         )
 
-    def _withdraw_tables(self, fid: int) -> float:
+    def _withdraw_tables(self, fid: int, ctx: ParentLike = None) -> float:
         reallocations = self.allocator.release(fid)
-        seconds = self.updater.remove_app(fid)
+        seconds = self.updater.remove_app(fid, ctx=ctx)
         block_words = self.switch.config.block_words
         for other in sorted(reallocations):
-            seconds += self.updater.deactivate(other)
+            seconds += self.updater.deactivate(other, ctx=ctx)
             seconds += self.updater.reinstall_app(
-                other, self._current_regions(other), block_words
+                other, self._current_regions(other), block_words, ctx=ctx
             )
-            seconds += self.updater.reactivate(other)
+            seconds += self.updater.reactivate(other, ctx=ctx)
         return seconds
 
     def _current_regions(self, fid: int) -> Dict[int, BlockRange]:

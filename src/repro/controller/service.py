@@ -48,11 +48,16 @@ from repro.controller.controller import (
 from repro.core.allocator import ActiveRmtAllocator, AllocationError
 from repro.core.constraints import AccessPattern
 from repro.core.transactions import AllocationPlan, StalePlanError
-from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.telemetry import AnyTracer, LATENCY_BUCKETS_S, MetricsRegistry
+from repro.telemetry.tracing import Span
 
 
 class AdmissionServiceError(Exception):
     """Raised on service misuse (submit after close, bad batch)."""
+
+
+class _RetryBatch(Exception):
+    """Internal: a batch attempt went stale; re-plan against a fresh shadow."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,6 +89,8 @@ class AdmissionTicket:
         self.submitted_at = submitted_at
         self.deadline = deadline
         self.resolved_at: Optional[float] = None
+        #: Root span of this request's trace (None when tracing is off).
+        self.span: Optional[Span] = None
         self._event = threading.Event()
         self._report: Optional[ProvisioningReport] = None
         self._error: Optional[BaseException] = None
@@ -134,6 +141,8 @@ class BatchTicket:
         self.submitted_at = submitted_at
         self.deadline = deadline
         self.resolved_at: Optional[float] = None
+        #: Root span of this group's trace (None when tracing is off).
+        self.span: Optional[Span] = None
         self._event = threading.Event()
         self._report: Optional[BatchReport] = None
         self._error: Optional[BaseException] = None
@@ -178,6 +187,9 @@ class AdmissionService:
         clock/sleep: injectable time sources for deterministic tests.
         seed: seeds the backoff jitter.
         telemetry: metrics registry; defaults to the controller's.
+        tracer: span tracer; defaults to the controller's, so the
+            request spans opened here parent the controller's
+            plan/commit/journal spans into one tree per request.
     """
 
     def __init__(
@@ -193,6 +205,7 @@ class AdmissionService:
         sleep: Callable[[float], None] = time.sleep,
         seed: int = 0,
         telemetry: Optional[MetricsRegistry] = None,
+        tracer: Optional[AnyTracer] = None,
         autostart: bool = True,
     ) -> None:
         if workers < 0:
@@ -210,6 +223,7 @@ class AdmissionService:
         self._sleep = sleep
         self._rng = random.Random(seed)
         self.telemetry = telemetry if telemetry is not None else controller.telemetry
+        self.tracer = tracer if tracer is not None else controller.tracer
         #: Committed operations in serialization order (under the
         #: commit lock): the witness order for the linearizability
         #: property -- replaying it serially reproduces the pools.
@@ -292,6 +306,12 @@ class AdmissionService:
         """
         now = self._clock()
         ticket = AdmissionTicket(request, now, self._absolute_deadline(now, deadline_s))
+        if self.tracer.enabled:
+            ticket.span = self.tracer.start(
+                "admission.request",
+                fid=request.fid if request.fid is not None else -1,
+                kind=request.kind.value,
+            )
         self._enqueue(ticket)
         return ticket
 
@@ -330,6 +350,10 @@ class AdmissionService:
         ticket = BatchTicket(
             tuple(requests), now, self._absolute_deadline(now, deadline_s)
         )
+        if self.tracer.enabled:
+            ticket.span = self.tracer.start(
+                "admission.batch", fids=list(fids), size=len(fids)
+            )
         self._enqueue(ticket)
         return ticket
 
@@ -359,6 +383,9 @@ class AdmissionService:
                 raise AdmissionServiceError("admission service is closed")
             if len(self._queue) >= self.queue_limit:
                 self._count_shed("queue_full")
+                self.tracer.anomaly(
+                    "shed", ticket.span, cause="queue_full"
+                )
                 # Never entered the outstanding count: counted=False.
                 self._resolve_shed_locked(
                     ticket, reason="admission queue full", counted=False
@@ -401,7 +428,7 @@ class AdmissionService:
             if self._past_deadline(ticket):
                 return
             shadow = self._snapshot_shadow()
-            plan = shadow.plan(request.fid, request.pattern)
+            plan = shadow.plan(request.fid, request.pattern, ctx=ticket.span)
             self._resolve(ticket, self.controller._report_dry_run(plan))
             return
         # Withdrawals and digests mutate for sure: serialize the whole
@@ -409,7 +436,7 @@ class AdmissionService:
         if self._past_deadline(ticket):
             return
         with self._commit_lock:
-            report = self.controller.submit(request)
+            report = self.controller.submit(request, ctx=ticket.span)
             if report.success and request.kind is RequestKind.WITHDRAW:
                 self.commit_log.append(("withdraw", request.fid))
         self._resolve(ticket, report)
@@ -417,38 +444,62 @@ class AdmissionService:
     def _process_admission(self, ticket: AdmissionTicket) -> None:
         """The optimistic loop: shadow-plan, commit, re-plan on conflict."""
         request = ticket.request
+        tracer = self.tracer
         attempt = 0
         while True:
             if self._past_deadline(ticket):
                 return
-            shadow = self._snapshot_shadow()
-            try:
-                plan = shadow.plan(request.fid, request.pattern)
-            except AllocationError as exc:
-                # A rival admission of the same fid won the race (or the
-                # caller re-submitted a resident fid): a rejection, not
-                # an error -- the service must stay up under misuse.
-                self._resolve(
-                    ticket,
-                    ProvisioningReport(
-                        fid=request.fid if request.fid is not None else -1,
-                        success=False,
-                        reason=str(exc),
-                    ),
+            # Per-attempt span, nested under the request's root span so
+            # every retry of one request stays inside one trace tree
+            # even when successive attempts run on different threads.
+            attempt_span: Optional[Span] = None
+            if tracer.enabled and ticket.span is not None:
+                attempt_span = tracer.start(
+                    "admission.attempt",
+                    parent=ticket.span,
+                    attempt=attempt + 1,
+                    fid=request.fid,
                 )
-                return
             try:
-                with self._commit_lock:
-                    report = self.controller.commit_plan(
-                        plan, program=request.program
+                shadow = self._snapshot_shadow()
+                try:
+                    plan = shadow.plan(
+                        request.fid, request.pattern, ctx=attempt_span
                     )
-                    if report.success:
-                        self.commit_log.append(("admit", request.fid))
-            except StalePlanError:
-                attempt += 1
-                if not self._backoff(ticket, attempt):
-                    return  # deadline hit while backing off: shed
-                continue
+                except AllocationError as exc:
+                    # A rival admission of the same fid won the race (or
+                    # the caller re-submitted a resident fid): a
+                    # rejection, not an error -- the service must stay
+                    # up under misuse.
+                    self._resolve(
+                        ticket,
+                        ProvisioningReport(
+                            fid=request.fid if request.fid is not None else -1,
+                            success=False,
+                            reason=str(exc),
+                        ),
+                    )
+                    return
+                try:
+                    with self._commit_lock:
+                        report = self.controller.commit_plan(
+                            plan, program=request.program, ctx=attempt_span
+                        )
+                        if report.success:
+                            self.commit_log.append(("admit", request.fid))
+                except StalePlanError as exc:
+                    if attempt_span is not None:
+                        attempt_span.set(
+                            stale=True, error=f"StalePlanError: {exc}"
+                        )
+                    attempt += 1
+                    self._note_stale_retry(ticket, attempt)
+                    if not self._backoff(ticket, attempt):
+                        return  # deadline hit while backing off: shed
+                    continue
+            finally:
+                if attempt_span is not None:
+                    tracer.finish(attempt_span)
             self._dwell(report)
             self._resolve(ticket, report)
             return
@@ -456,79 +507,104 @@ class AdmissionService:
     def _process_batch(self, ticket: BatchTicket) -> None:
         """Plan the group against one shadow; commit under one journal."""
         requests = ticket.requests
+        tracer = self.tracer
         attempt = 0
         while True:
             if self._past_deadline(ticket):
                 return
-            shadow = self._snapshot_shadow()
-            base_version = shadow.version
-            plans: List[AllocationPlan] = []
-            infeasible: Optional[AllocationPlan] = None
-            for request in requests:
-                plan = shadow.plan(request.fid, request.pattern)
-                if not plan.feasible:
-                    infeasible = plan
-                    break
-                plans.append(plan)
-                # Rehearse onto the shadow so the next member's plan
-                # sees this grant; the plan itself stays PENDING for
-                # the real commit.
-                shadow.rehearse(plan)
-            if infeasible is not None:
-                with self._commit_lock:
-                    if self.controller.allocator.version != base_version:
-                        stale = True
-                    else:
-                        stale = False
-                        bad_report = self.controller._report_infeasible(infeasible)
-                if stale:
-                    attempt += 1
-                    if not self._backoff(ticket, attempt):
-                        return
-                    continue
-                for plan in plans:
-                    self.controller.allocator.abort(plan)
-                reports = []
-                for request in requests:
-                    if request.fid == infeasible.fid:
-                        reports.append(bad_report)
-                    else:
-                        reports.append(
-                            ProvisioningReport(
-                                fid=request.fid if request.fid is not None else -1,
-                                success=False,
-                                reason=(
-                                    "batch aborted: no feasible mutant for "
-                                    f"fid {infeasible.fid}"
-                                ),
-                            )
-                        )
-                self._resolve_batch(
-                    ticket, BatchReport(reports, ProvisioningStatus.REJECTED)
+            attempt_span: Optional[Span] = None
+            if tracer.enabled and ticket.span is not None:
+                attempt_span = tracer.start(
+                    "admission.attempt",
+                    parent=ticket.span,
+                    attempt=attempt + 1,
+                    size=len(requests),
                 )
-                return
-            programs = [request.program for request in requests]
             try:
-                with self._commit_lock:
-                    reports = self.controller.commit_batch(plans, programs)
-                    if all(report.success for report in reports):
-                        for request in requests:
-                            self.commit_log.append(("admit", request.fid))
-            except StalePlanError:
+                self._process_batch_attempt(ticket, attempt_span)
+            except _RetryBatch:
+                if attempt_span is not None:
+                    attempt_span.set(stale=True)
                 attempt += 1
+                self._note_stale_retry(ticket, attempt)
                 if not self._backoff(ticket, attempt):
                     return
                 continue
-            if all(report.success for report in reports):
-                status = ProvisioningStatus.ADMITTED
-            elif any(report.rolled_back for report in reports):
-                status = ProvisioningStatus.ROLLED_BACK
-            else:
-                status = ProvisioningStatus.REJECTED
-            for report in reports:
-                self._dwell(report)
-            self._resolve_batch(ticket, BatchReport(reports, status))
+            finally:
+                if attempt_span is not None:
+                    tracer.finish(attempt_span)
             return
+
+    def _process_batch_attempt(
+        self,
+        ticket: BatchTicket,
+        ctx: Optional[Span],
+    ) -> None:
+        """One optimistic pass over a batch; raises _RetryBatch on conflict."""
+        requests = ticket.requests
+        shadow = self._snapshot_shadow()
+        base_version = shadow.version
+        plans: List[AllocationPlan] = []
+        infeasible: Optional[AllocationPlan] = None
+        for request in requests:
+            plan = shadow.plan(request.fid, request.pattern, ctx=ctx)
+            if not plan.feasible:
+                infeasible = plan
+                break
+            plans.append(plan)
+            # Rehearse onto the shadow so the next member's plan
+            # sees this grant; the plan itself stays PENDING for
+            # the real commit.
+            shadow.rehearse(plan)
+        if infeasible is not None:
+            with self._commit_lock:
+                if self.controller.allocator.version != base_version:
+                    stale = True
+                else:
+                    stale = False
+                    bad_report = self.controller._report_infeasible(infeasible)
+            if stale:
+                raise _RetryBatch()
+            for plan in plans:
+                self.controller.allocator.abort(plan)
+            reports = []
+            for request in requests:
+                if request.fid == infeasible.fid:
+                    reports.append(bad_report)
+                else:
+                    reports.append(
+                        ProvisioningReport(
+                            fid=request.fid if request.fid is not None else -1,
+                            success=False,
+                            reason=(
+                                "batch aborted: no feasible mutant for "
+                                f"fid {infeasible.fid}"
+                            ),
+                        )
+                    )
+            self._resolve_batch(
+                ticket, BatchReport(reports, ProvisioningStatus.REJECTED)
+            )
+            return
+        programs = [request.program for request in requests]
+        try:
+            with self._commit_lock:
+                reports = self.controller.commit_batch(plans, programs, ctx=ctx)
+                if all(report.success for report in reports):
+                    for request in requests:
+                        self.commit_log.append(("admit", request.fid))
+        except StalePlanError as exc:
+            raise _RetryBatch() from exc
+        if all(report.success for report in reports):
+            status = ProvisioningStatus.ADMITTED
+        elif any(report.rolled_back for report in reports):
+            status = ProvisioningStatus.ROLLED_BACK
+        else:
+            status = ProvisioningStatus.REJECTED
+        for report in reports:
+            self._dwell(report)
+        self._resolve_batch(ticket, BatchReport(reports, status))
+        return
 
     # ------------------------------------------------------------------
     # Shared plumbing
@@ -552,11 +628,21 @@ class AdmissionService:
         self._sleep(min(delay, remaining))
         return not self._past_deadline(ticket)
 
+    def _note_stale_retry(
+        self, ticket: Union[AdmissionTicket, BatchTicket], attempt: int
+    ) -> None:
+        """Fire the retry-storm anomaly when a request keeps losing races."""
+        tracer = self.tracer
+        recorder = tracer.recorder
+        if recorder is not None and attempt == recorder.retry_threshold:
+            tracer.anomaly("stale_retries", ticket.span, attempts=attempt)
+
     def _past_deadline(self, ticket: Union[AdmissionTicket, BatchTicket]) -> bool:
         """Shed the ticket if its deadline has passed."""
         if self._clock() < ticket.deadline:
             return False
         self._count_shed("deadline")
+        self.tracer.anomaly("deadline", ticket.span, deadline=ticket.deadline)
         self._resolve_shed_locked(ticket, reason="deadline exceeded")
         return True
 
@@ -608,6 +694,7 @@ class AdmissionService:
         ticket.resolved_at = self._clock()
         ticket._report = report
         self._observe_latency(ticket)
+        self._finish_span(ticket, report.status)
         ticket._event.set()
         if counted:
             self._finish_one()
@@ -621,6 +708,7 @@ class AdmissionService:
         ticket.resolved_at = self._clock()
         ticket._report = report
         self._observe_latency(ticket)
+        self._finish_span(ticket, report.status)
         ticket._event.set()
         if counted:
             self._finish_one()
@@ -630,8 +718,21 @@ class AdmissionService:
     ) -> None:
         ticket.resolved_at = self._clock()
         ticket._error = error
+        if ticket.span is not None:
+            ticket.span.set(error=f"{type(error).__name__}: {error}")
+            self.tracer.finish(ticket.span)
         ticket._event.set()
         self._finish_one()
+
+    def _finish_span(
+        self,
+        ticket: Union[AdmissionTicket, BatchTicket],
+        status: Optional[ProvisioningStatus],
+    ) -> None:
+        if ticket.span is not None:
+            if status is not None:
+                ticket.span.set(status=status.value)
+            self.tracer.finish(ticket.span)
 
     def _finish_one(self) -> None:
         with self._cv:

@@ -26,7 +26,8 @@ from repro.core.blocks import BlockRange
 from repro.core.transactions import TableUpdateJournal
 from repro.switchsim.pipeline import Pipeline
 from repro.switchsim.tables import StageGrant, StageTable
-from repro.telemetry import MetricsRegistry, resolve
+from repro.telemetry import AnyTracer, MetricsRegistry, resolve, resolve_tracer
+from repro.telemetry.tracing import ParentLike
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,10 +69,12 @@ class TableUpdateEngine:
         pipeline: Pipeline,
         cost: Optional[TableUpdateCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        tracer: Optional[AnyTracer] = None,
     ) -> None:
         self.pipeline = pipeline
         self.cost = cost or TableUpdateCost()
         self.telemetry = resolve(telemetry)
+        self.tracer = resolve_tracer(tracer)
         self.entries_installed = 0
         self.entries_removed = 0
 
@@ -148,6 +151,7 @@ class TableUpdateEngine:
         regions: Dict[int, BlockRange],
         block_words: int,
         journal: Optional[TableUpdateJournal] = None,
+        ctx: ParentLike = None,
     ) -> float:
         """Install grants + translations for an app's per-stage regions.
 
@@ -156,6 +160,29 @@ class TableUpdateEngine:
         (entries applied before a mid-flight ``TcamCapacityError`` are
         thereby exactly undoable).
         """
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "tables.install_app", parent=ctx, fid=fid
+            ) as span:
+                before = self.entries_installed
+                seconds = self._install_app_impl(
+                    fid, regions, block_words, journal
+                )
+                span.set(
+                    entries=self.entries_installed - before,
+                    seconds=seconds,
+                )
+                return seconds
+        return self._install_app_impl(fid, regions, block_words, journal)
+
+    def _install_app_impl(
+        self,
+        fid: int,
+        regions: Dict[int, BlockRange],
+        block_words: int,
+        journal: Optional[TableUpdateJournal],
+    ) -> float:
         # New decode state makes any cached schedule for this FID
         # stale; flush eagerly (the version stamps would also catch it,
         # but eager flushes keep the cache from serving dead entries).
@@ -203,9 +230,26 @@ class TableUpdateEngine:
         return seconds
 
     def remove_app(
-        self, fid: int, journal: Optional[TableUpdateJournal] = None
+        self,
+        fid: int,
+        journal: Optional[TableUpdateJournal] = None,
+        ctx: ParentLike = None,
     ) -> float:
         """Remove every grant and translation entry for *fid*."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("tables.remove_app", parent=ctx, fid=fid) as span:
+                before = self.entries_removed
+                seconds = self._remove_app_impl(fid, journal)
+                span.set(
+                    entries=self.entries_removed - before, seconds=seconds
+                )
+                return seconds
+        return self._remove_app_impl(fid, journal)
+
+    def _remove_app_impl(
+        self, fid: int, journal: Optional[TableUpdateJournal]
+    ) -> float:
         self._invalidate_cache(fid, journal)
         removed_before = self.entries_removed
         seconds = 0.0
@@ -248,15 +292,24 @@ class TableUpdateEngine:
         regions: Dict[int, BlockRange],
         block_words: int,
         journal: Optional[TableUpdateJournal] = None,
+        ctx: ParentLike = None,
     ) -> float:
         """Replace an app's entries after a reallocation."""
-        return self.remove_app(fid, journal=journal) + self.install_app(
-            fid, regions, block_words, journal=journal
+        return self.remove_app(fid, journal=journal, ctx=ctx) + self.install_app(
+            fid, regions, block_words, journal=journal, ctx=ctx
         )
 
     def deactivate(
-        self, fid: int, journal: Optional[TableUpdateJournal] = None
+        self,
+        fid: int,
+        journal: Optional[TableUpdateJournal] = None,
+        ctx: ParentLike = None,
     ) -> float:
+        tracer = self.tracer
+        if tracer.enabled:
+            span = tracer.start("tables.deactivate", parent=ctx, fid=fid)
+        else:
+            span = None
         if journal is not None:
             was_active = self.pipeline.is_active(fid)
 
@@ -268,11 +321,21 @@ class TableUpdateEngine:
 
             journal.record(f"deactivate fid={fid}", undo)
         self.pipeline.deactivate_fid(fid)
+        if span is not None:
+            self.tracer.finish(span)
         return self.cost.activation_seconds
 
     def reactivate(
-        self, fid: int, journal: Optional[TableUpdateJournal] = None
+        self,
+        fid: int,
+        journal: Optional[TableUpdateJournal] = None,
+        ctx: ParentLike = None,
     ) -> float:
+        tracer = self.tracer
+        if tracer.enabled:
+            span = tracer.start("tables.reactivate", parent=ctx, fid=fid)
+        else:
+            span = None
         if journal is not None:
             was_active = self.pipeline.is_active(fid)
 
@@ -284,4 +347,6 @@ class TableUpdateEngine:
 
             journal.record(f"reactivate fid={fid}", undo)
         self.pipeline.reactivate_fid(fid)
+        if span is not None:
+            self.tracer.finish(span)
         return self.cost.activation_seconds

@@ -41,7 +41,15 @@ from repro.core.transactions import (
 )
 from repro.packets.headers import AllocationResponseHeader, StageRegion
 from repro.switchsim.config import SwitchConfig
-from repro.telemetry import LATENCY_BUCKETS_S, MetricsRegistry, NULL_REGISTRY, resolve
+from repro.telemetry import (
+    LATENCY_BUCKETS_S,
+    AnyTracer,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    resolve,
+    resolve_tracer,
+)
+from repro.telemetry.tracing import ParentLike
 
 
 class AllocationError(Exception):
@@ -140,11 +148,13 @@ class ActiveRmtAllocator:
         scheme: AllocationScheme = AllocationScheme.WORST_FIT,
         policy: AllocationPolicy = MOST_CONSTRAINED,
         telemetry: Optional[MetricsRegistry] = None,
+        tracer: Optional[AnyTracer] = None,
     ) -> None:
         self.config = config or SwitchConfig()
         self.scheme = scheme
         self.policy = policy
         self.telemetry = resolve(telemetry)
+        self.tracer = resolve_tracer(tracer)
         self.pools: Dict[int, StagePool] = {
             stage: StagePool(self.config.blocks_per_stage)
             for stage in range(1, self.config.num_stages + 1)
@@ -165,7 +175,9 @@ class ActiveRmtAllocator:
     # Admission: plan -> validate -> commit
     # ------------------------------------------------------------------
 
-    def plan(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
+    def plan(
+        self, fid: int, pattern: AccessPattern, ctx: ParentLike = None
+    ) -> AllocationPlan:
         """Compute what admitting *fid* would do -- without doing it.
 
         The mutant search only reads pool state (feasibility checks and
@@ -174,7 +186,24 @@ class ActiveRmtAllocator:
         mutates before -- or after -- a feasible winner is chosen.  The
         returned plan is committed with :meth:`commit`, discarded with
         :meth:`abort`, or inspected as a what-if probe.
+
+        With tracing enabled, the search is recorded as an
+        ``allocator.plan`` span under *ctx* (the caller's trace
+        context, threaded explicitly from the admission request).
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._plan_impl(fid, pattern)
+        with tracer.span("allocator.plan", parent=ctx, fid=fid) as span:
+            plan = self._plan_impl(fid, pattern)
+            span.set(
+                feasible=plan.feasible,
+                basis_version=plan.basis_version,
+                candidates_considered=plan.candidates_considered,
+            )
+            return plan
+
+    def _plan_impl(self, fid: int, pattern: AccessPattern) -> AllocationPlan:
         if fid in self.apps:
             raise AllocationError(f"fid {fid} already admitted")
         search_start = time.perf_counter()
@@ -237,7 +266,10 @@ class ActiveRmtAllocator:
         )
 
     def commit(
-        self, plan: AllocationPlan, record: bool = True
+        self,
+        plan: AllocationPlan,
+        record: bool = True,
+        ctx: ParentLike = None,
     ) -> CommitResult:
         """Apply a feasible plan to the real pools.
 
@@ -247,6 +279,10 @@ class ActiveRmtAllocator:
         :class:`CommitResult` whose checkpoint allows an exact undo via
         :meth:`rollback`.
 
+        With tracing enabled, the apply is recorded as an
+        ``allocator.commit`` span under *ctx*; a stale-plan rejection
+        records the span with an ``error`` attribute before raising.
+
         Args:
             plan: the plan to apply.
             record: publish decision telemetry now.  Two-phase callers
@@ -254,7 +290,20 @@ class ActiveRmtAllocator:
                 :meth:`record_decision` only once the switch-side
                 updates have also succeeded, so rolled-back admissions
                 never pollute the decision counters.
+            ctx: optional trace context this commit belongs to.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._commit_impl(plan, record)
+        with tracer.span(
+            "allocator.commit", parent=ctx, fid=plan.fid,
+            basis_version=plan.basis_version,
+        ) as span:
+            result = self._commit_impl(plan, record)
+            span.set(version=self._version)
+            return result
+
+    def _commit_impl(self, plan: AllocationPlan, record: bool) -> CommitResult:
         if plan.state is not PlanState.PENDING:
             raise TransactionError(
                 f"plan for fid {plan.fid} already {plan.state.value}"
@@ -318,6 +367,10 @@ class ActiveRmtAllocator:
         twin.scheme = self.scheme
         twin.policy = self.policy
         twin.telemetry = NULL_REGISTRY
+        # Shadows *do* share the tracer: speculative planning is
+        # exactly what the causal story needs to show (a retried
+        # request's abandoned plan spans stay in its tree).
+        twin.tracer = self.tracer
         twin.pools = {stage: pool.clone() for stage, pool in self.pools.items()}
         twin.apps = dict(self.apps)
         twin._arrival_counter = self._arrival_counter
@@ -368,15 +421,27 @@ class ActiveRmtAllocator:
             )
         plan.state = PlanState.ABORTED
 
-    def rollback(self, result: CommitResult) -> None:
+    def rollback(self, result: CommitResult, ctx: ParentLike = None) -> None:
         """Undo a committed plan, restoring exact pre-commit state.
 
         Pools are restored from the checkpoint's byte-identical
         snapshots (not by release-and-relayout), the arrival counter
         and version stamps rewind, and the app record disappears.  The
         only telemetry touched is ``allocator_rollbacks_total`` -- a
-        rollback is not a release and moves no client state.
+        rollback is not a release and moves no client state.  With
+        tracing enabled an ``allocator.rollback`` span lands under
+        *ctx*, so the undo is part of the request's causal tree.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._rollback_impl(result)
+        with tracer.span(
+            "allocator.rollback", parent=ctx, fid=result.plan.fid,
+            restored_version=result.checkpoint.version,
+        ):
+            return self._rollback_impl(result)
+
+    def _rollback_impl(self, result: CommitResult) -> None:
         plan = result.plan
         if plan.state is not PlanState.COMMITTED:
             raise TransactionError(

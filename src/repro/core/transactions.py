@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.allocator import AllocationDecision
     from repro.core.constraints import AccessPattern
     from repro.core.mutants import MutantCandidate
+    from repro.telemetry.tracing import AnyTracer, ParentLike
 
 
 class TransactionError(Exception):
@@ -265,11 +266,25 @@ class TableUpdateJournal:
 
     A journal is single-use: after :meth:`commit_entries` or
     :meth:`rollback` it refuses further recording.
+
+    Args:
+        tracer: optional span tracer.  With one, :meth:`rollback`
+            records a ``journal.rollback`` span (the *journal-replay*
+            event every anomaly reconstruction hinges on) and
+            :meth:`commit_entries` a ``journal.commit`` span, both
+            parented under *ctx*.
+        ctx: the trace context of the transaction this journal covers.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional["AnyTracer"] = None,
+        ctx: "ParentLike" = None,
+    ) -> None:
         self._entries: List[JournalEntry] = []
         self._closed = False
+        self._tracer = tracer
+        self._ctx = ctx
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -298,6 +313,15 @@ class TableUpdateJournal:
         """
         if self._closed:
             raise TransactionError("journal already closed")
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "journal.rollback", parent=self._ctx, entries=len(self._entries)
+            ):
+                return self._rollback_impl()
+        return self._rollback_impl()
+
+    def _rollback_impl(self) -> int:
         self._closed = True
         reversed_count = 0
         entries, self._entries = self._entries, []
@@ -316,4 +340,10 @@ class TableUpdateJournal:
         self._closed = True
         count = len(self._entries)
         self._entries = []
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            span = tracer.start(
+                "journal.commit", parent=self._ctx, entries=count
+            )
+            tracer.finish(span)
         return count

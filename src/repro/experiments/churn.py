@@ -34,7 +34,14 @@ from repro.controller.service import (
     replay_commit_log,
 )
 from repro.experiments.common import make_controller
-from repro.telemetry import MetricsRegistry, json_snapshot, resolve
+from repro.telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    json_snapshot,
+    resolve,
+    resolve_tracer,
+)
 from repro.workloads.arrivals import ArrivalEvent, DepartureEvent, poisson_events
 
 
@@ -73,6 +80,9 @@ class ChurnResult:
     pacing: float
     batch_status: str
     batch_size: int
+    #: Flight-recorder anomaly dumps captured across the runs (0 when
+    #: tracing is off or nothing anomalous fired).
+    flight_dumps: int = 0
 
     @property
     def speedup(self) -> float:
@@ -122,6 +132,12 @@ def run_churn(
     arrived), then withdraw through the same service queue.
     """
     registry = _run_registry()
+    # With a recording tracer installed (the CLI's --trace-out), every
+    # run gets a flight recorder whose dumps snapshot the live pools at
+    # anomaly time -- sheds, rollbacks, and retry storms under churn
+    # each ship with their own causal reconstruction.
+    tracer = resolve_tracer(None)
+    flight_dumps = 0
     rows: List[ChurnRow] = []
     arrivals = departures = 0
     for workers in worker_counts:
@@ -139,6 +155,14 @@ def run_churn(
             name: spec.pattern() for name, spec in EXEMPLAR_APPS.items()
         }
         controller = make_controller()
+        recorder: Optional[FlightRecorder] = None
+        if isinstance(tracer, Tracer):
+            recorder = FlightRecorder(
+                tracer,
+                fingerprint=lambda ctl=controller: pools_fingerprint(
+                    ctl.allocator
+                ),
+            )
         service = AdmissionService(
             controller,
             workers=workers,
@@ -207,6 +231,9 @@ def run_churn(
             replay.allocator
         )
         service.close()
+        if recorder is not None:
+            flight_dumps += len(recorder.dumps)
+            recorder.detach()
 
         rows.append(
             ChurnRow(
@@ -249,6 +276,7 @@ def run_churn(
         pacing=pacing,
         batch_status=batch_status,
         batch_size=batch_size,
+        flight_dumps=flight_dumps,
     )
 
 
@@ -282,6 +310,11 @@ def format_churn(result: ChurnResult) -> str:
         f"batch admission: {result.batch_size} fids under one journal -> "
         f"{result.batch_status}"
     )
+    if result.flight_dumps:
+        lines.append(
+            f"flight recorder: {result.flight_dumps} anomaly dump(s) "
+            f"captured (sheds / rollbacks / retry storms)"
+        )
     return "\n".join(lines)
 
 

@@ -17,6 +17,14 @@ text exposition format; anything else gets the JSON snapshot (with
 histogram percentiles).  When several figures run (``all``), each
 figure writes its own file with the figure name spliced in before the
 extension.
+
+``--trace-out FILE`` enables causal span tracing the same way: a fresh
+:class:`~repro.telemetry.tracing.Tracer` becomes the process default
+for the run, every controller/service/allocator/journal operation and
+sampled data-path packet records into it, and the span set is exported
+afterwards -- ``.jsonl`` selects the compact span log, anything else
+gets Chrome trace-event JSON that loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -173,26 +181,46 @@ def _dump_stats(path: str, registry) -> None:
 
 
 def run_experiment(
-    name: str, quick: bool, stats_out: Optional[str] = None
+    name: str,
+    quick: bool,
+    stats_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
 ) -> str:
-    """Run one figure, optionally with telemetry dumped to *stats_out*.
+    """Run one figure, optionally dumping telemetry and/or spans.
 
     With *stats_out* set, a fresh recording registry becomes the
     process default for the duration of the run (restored afterwards),
     so the controllers and switches the experiment builds report into
     it; the registry is written to *stats_out* before returning.
+    *trace_out* does the same for the causal span tracer: components
+    built during the run resolve it, and the span set is exported to
+    the file (.jsonl = span log, else Chrome trace-event JSON).
     """
-    if stats_out is None:
+    if stats_out is None and trace_out is None:
         return EXPERIMENTS[name](quick)
     from repro import telemetry
 
-    registry = telemetry.MetricsRegistry()
-    previous = telemetry.set_registry(registry)
+    registry = telemetry.MetricsRegistry() if stats_out else None
+    # A fresh Tracer is empty and Tracer defines __len__, so these
+    # guards must test identity, not truthiness.
+    tracer = telemetry.Tracer(capacity=1 << 16) if trace_out else None
+    if registry is not None:
+        previous_registry = telemetry.set_registry(registry)
+    if tracer is not None:
+        previous_tracer = telemetry.set_tracer(tracer)
     try:
         output = EXPERIMENTS[name](quick)
     finally:
-        telemetry.set_registry(previous)
-    _dump_stats(stats_out, registry)
+        if registry is not None:
+            telemetry.set_registry(previous_registry)
+        if tracer is not None:
+            telemetry.set_tracer(previous_tracer)
+    if registry is not None and stats_out is not None:
+        _dump_stats(stats_out, registry)
+    if tracer is not None and trace_out is not None:
+        from repro.telemetry import dump_trace
+
+        dump_trace(trace_out, tracer)
     return output
 
 
@@ -246,6 +274,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "enable causal span tracing and export the spans here after "
+            "each figure run (.jsonl = span log, else Chrome "
+            "trace-event JSON loadable in Perfetto)"
+        ),
+    )
+    parser.add_argument(
         "--report-out",
         metavar="FILE",
         default=None,
@@ -262,11 +300,18 @@ def main(argv=None) -> int:
             if args.stats_out
             else None
         )
-        print(run_experiment(name, args.quick, stats_out))
+        trace_out = (
+            _stats_path(args.trace_out, name, len(names) > 1)
+            if args.trace_out
+            else None
+        )
+        print(run_experiment(name, args.quick, stats_out, trace_out))
         elapsed = time.perf_counter() - started
         print(f"[{name} regenerated in {elapsed:.1f} s]\n")
         if stats_out:
             print(f"[telemetry snapshot written to {stats_out}]\n")
+        if trace_out:
+            print(f"[span trace written to {trace_out}]\n")
     return 0
 
 

@@ -39,7 +39,14 @@ from repro.switchsim.latency import LatencyModel
 from repro.switchsim.perf import PerfCounters
 from repro.switchsim.pipeline import ExecutionResult, PacketDisposition, Pipeline
 from repro.switchsim.progcache import ProgramCache, infer_recirculations
-from repro.telemetry import SIZE_BUCKETS, MetricsRegistry, PipelineTracer, resolve
+from repro.telemetry import (
+    SIZE_BUCKETS,
+    AnyTracer,
+    MetricsRegistry,
+    PipelineTracer,
+    resolve,
+    resolve_tracer,
+)
 
 
 @dataclasses.dataclass
@@ -133,6 +140,13 @@ class ActiveSwitch:
         tracer: optional sampled per-packet tracer; each sampled
             packet records one span with its fid, classification,
             disposition, and recirculation count.
+        span_tracer: causal span tracer; None resolves to the process
+            default (inert unless one was installed).  When recording,
+            each *sampled* packet additionally records a
+            ``datapath.packet`` span parented on the tracer's
+            ``layout_context`` -- the commit that installed the layout
+            the packet executes under -- joining control-plane traces
+            to the data path by IDs.
     """
 
     def __init__(
@@ -143,10 +157,12 @@ class ActiveSwitch:
         clock: Optional[Callable[[], float]] = None,
         telemetry: Optional[MetricsRegistry] = None,
         tracer: Optional[PipelineTracer] = None,
+        span_tracer: Optional[AnyTracer] = None,
     ) -> None:
         self.config = config or SwitchConfig()
         self.telemetry = resolve(telemetry)
         self.tracer = tracer
+        self.span_tracer = resolve_tracer(span_tracer)
         self.pipeline = Pipeline(self.config, telemetry=self.telemetry)
         self.latency = latency or LatencyModel()
         self.governor = governor
@@ -211,14 +227,27 @@ class ActiveSwitch:
                 packet.fid, result.recirculations if result is not None else 0
             )
         if sampled:
+            ended = time.perf_counter()
             tracer.record(
                 "packet",
-                duration_s=time.perf_counter() - started,
+                duration_s=ended - started,
                 fid=packet.fid,
                 kind=_KIND_NAMES[kind],
                 disposition=result.disposition.value if result else None,
                 recirculations=result.recirculations if result else 0,
             )
+            span_tracer = self.span_tracer
+            if span_tracer.enabled:
+                span_tracer.record_span(
+                    "datapath.packet",
+                    start_s=started,
+                    end_s=ended,
+                    parent=span_tracer.layout_context,
+                    fid=packet.fid,
+                    kind=_KIND_NAMES[kind],
+                    disposition=result.disposition.value if result else None,
+                    recirculations=result.recirculations if result else 0,
+                )
         for output in outputs:
             self._count_tx(output.port, output.packet)
         perf.touch()
@@ -295,14 +324,29 @@ class ActiveSwitch:
                 tally[0] += 1
                 tally[1] += result.recirculations if result is not None else 0
             if sampled:
+                ended = time.perf_counter()
                 tracer.record(
                     "packet",
-                    duration_s=time.perf_counter() - started,
+                    duration_s=ended - started,
                     fid=packet.fid,
                     kind=_KIND_NAMES[kind],
                     disposition=result.disposition.value if result else None,
                     recirculations=result.recirculations if result else 0,
                 )
+                span_tracer = self.span_tracer
+                if span_tracer.enabled:
+                    span_tracer.record_span(
+                        "datapath.packet",
+                        start_s=started,
+                        end_s=ended,
+                        parent=span_tracer.layout_context,
+                        fid=packet.fid,
+                        kind=_KIND_NAMES[kind],
+                        disposition=(
+                            result.disposition.value if result else None
+                        ),
+                        recirculations=result.recirculations if result else 0,
+                    )
             if outputs:
                 extend(outputs)
         # -- single roll-up of everything the scalar path does per packet

@@ -44,6 +44,25 @@ from repro.telemetry.trace import (
     TraceBuffer,
     TraceEvent,
 )
+from repro.telemetry.tracing import (
+    AnyTracer,
+    FlightDump,
+    FlightRecorder,
+    IdSource,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    chrome_trace_events,
+    context_of,
+    dump_trace,
+    find_spans,
+    span_tree,
+    spans_to_jsonl,
+    validate_chrome_trace,
+)
 from repro.telemetry.export import dump_json, json_snapshot, prometheus_text
 
 #: The process-default registry handed to components built with
@@ -75,24 +94,73 @@ def resolve(telemetry: Optional[MetricsRegistry]) -> MetricsRegistry:
     return telemetry if telemetry is not None else _default_registry
 
 
+#: The process-default tracer handed to components built with
+#: ``tracer=None``.  Inert unless :func:`set_tracer` installs a
+#: recording one (the experiments CLI does this for ``--trace-out``).
+_default_tracer: AnyTracer = NULL_TRACER
+
+
+def get_tracer() -> AnyTracer:
+    """The current process-default tracer (NullTracer unless set)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Optional[AnyTracer]) -> AnyTracer:
+    """Install *tracer* as the process default; returns the previous.
+
+    Passing None restores the inert default.  As with
+    :func:`set_registry`, only components constructed *after* the call
+    pick the new tracer up.
+    """
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def resolve_tracer(tracer: Optional[AnyTracer]) -> AnyTracer:
+    """Constructor helper: explicit tracer, else the process default."""
+    return tracer if tracer is not None else _default_tracer
+
+
 __all__ = [
     "LATENCY_BUCKETS_S",
     "SIZE_BUCKETS",
+    "AnyTracer",
     "Counter",
+    "FlightDump",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "IdSource",
     "MetricsRegistry",
     "NullRegistry",
+    "NullTracer",
     "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
     "PacketSampler",
     "PipelineTracer",
+    "Span",
+    "SpanContext",
     "TraceBuffer",
     "TraceEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "context_of",
     "dump_json",
+    "dump_trace",
+    "find_spans",
     "format_series",
     "get_registry",
+    "get_tracer",
     "json_snapshot",
     "prometheus_text",
     "resolve",
+    "resolve_tracer",
     "set_registry",
+    "set_tracer",
+    "span_tree",
+    "spans_to_jsonl",
+    "validate_chrome_trace",
 ]

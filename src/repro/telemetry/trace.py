@@ -21,7 +21,7 @@ import random
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclasses.dataclass(frozen=True)
@@ -40,6 +40,11 @@ class TraceEvent:
     duration_s: float
     attrs: Dict[str, object]
 
+    def __post_init__(self) -> None:
+        # The ring buffer is history: copy the caller-supplied dict so
+        # later mutation of it cannot rewrite an already-recorded event.
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "name": self.name,
@@ -50,12 +55,23 @@ class TraceEvent:
 
 
 class TraceBuffer:
-    """Ring buffer of trace events; oldest entries evict first."""
+    """Ring buffer of trace events; oldest entries evict first.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    Args:
+        capacity: ring size.
+        clock: monotonic time source; injectable so tests can assert
+            exact durations with a fake clock instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("trace buffer capacity must be positive")
         self.capacity = capacity
+        self.clock = clock
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.recorded = 0
         self.dropped = 0
@@ -69,7 +85,7 @@ class TraceBuffer:
     ) -> TraceEvent:
         """Append one event, evicting the oldest when full."""
         if start_s is None:
-            start_s = time.perf_counter()
+            start_s = self.clock()
         event = TraceEvent(
             name=name, start_s=start_s, duration_s=duration_s, attrs=attrs
         )
@@ -81,14 +97,22 @@ class TraceBuffer:
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Dict[str, object]]:
-        """Time a block; yields the attrs dict for late additions."""
-        start = time.perf_counter()
+        """Time a block; yields the attrs dict for late additions.
+
+        A raising body still records the span -- with an ``error``
+        attribute naming the exception -- because the failing operation
+        is exactly the one worth seeing.  The exception propagates.
+        """
+        start = self.clock()
         try:
             yield attrs
+        except BaseException as exc:
+            attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
         finally:
             self.record(
                 name,
-                duration_s=time.perf_counter() - start,
+                duration_s=self.clock() - start,
                 start_s=start,
                 **attrs,
             )
@@ -140,12 +164,19 @@ class PipelineTracer:
             usable for coarser events).
         seed: sampler seed; fixed so reruns trace the same packets.
         capacity: ring-buffer size.
+        clock: monotonic time source shared with the buffer (injectable
+            for deterministic tests).
     """
 
     def __init__(
-        self, sample_rate: float = 0.0, seed: int = 0, capacity: int = 4096
+        self,
+        sample_rate: float = 0.0,
+        seed: int = 0,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
-        self.buffer = TraceBuffer(capacity)
+        self.clock = clock
+        self.buffer = TraceBuffer(capacity, clock=clock)
         self.sampler = PacketSampler(sample_rate, seed)
 
     def should_sample(self) -> bool:

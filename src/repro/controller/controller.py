@@ -41,11 +41,11 @@ from repro.core.transactions import (
     TableUpdateJournal,
 )
 from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
+from repro.device import Device, as_device
 from repro.isa.program import ActiveProgram
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
 from repro.packets.headers import ControlFlags, PacketType
-from repro.switchsim.switch import ActiveSwitch
 from repro.switchsim.tables import TcamCapacityError
 from repro.telemetry import (
     AnyTracer,
@@ -267,11 +267,21 @@ class ProvisioningReport:
 
 
 class ActiveRmtController:
-    """Controller running on the switch CPU."""
+    """Controller running on the switch CPU.
+
+    The controller programs against the :class:`~repro.device.Device`
+    protocol, never a concrete backend: *switch* may be anything
+    :func:`~repro.device.as_device` accepts (a bare
+    :class:`~repro.switchsim.switch.ActiveSwitch` is wrapped in a
+    :class:`~repro.device.SimDevice` transparently, so historical call
+    sites are unchanged).  The adapted device is :attr:`device`; the
+    legacy :attr:`switch` attribute remains as a read-only view of the
+    backend behind it.
+    """
 
     def __init__(
         self,
-        switch: ActiveSwitch,
+        switch: Union[Device, object],
         scheme: AllocationScheme = AllocationScheme.WORST_FIT,
         policy: AllocationPolicy = MOST_CONSTRAINED,
         table_cost: Optional[TableUpdateCost] = None,
@@ -280,7 +290,7 @@ class ActiveRmtController:
         verify: Union[CompileOptions, VerifyMode, str] = VerifyMode.WARN,
         tracer: Optional[AnyTracer] = None,
     ) -> None:
-        self.switch = switch
+        self.device: Device = as_device(switch)
         self.telemetry = resolve(telemetry)
         self.tracer = resolve_tracer(tracer)
         #: Admission-time static verification policy: ``strict`` rejects
@@ -291,14 +301,14 @@ class ActiveRmtController:
         #: bag, whose ``verify`` field is used.
         self.verify = CompileOptions.coerce(verify).verify
         self.allocator = ActiveRmtAllocator(
-            switch.config,
+            self.device.config,
             scheme=scheme,
             policy=policy,
             telemetry=self.telemetry,
             tracer=self.tracer,
         )
         self.updater = TableUpdateEngine(
-            switch.pipeline,
+            self.device,
             table_cost,
             telemetry=self.telemetry,
             tracer=self.tracer,
@@ -309,6 +319,16 @@ class ActiveRmtController:
         self._client_macs: Dict[int, MacAddress] = {}
         #: Hook invoked with (fid,) when a SNAPSHOT_COMPLETE arrives.
         self.on_snapshot_complete: Optional[Callable[[int], None]] = None
+
+    @property
+    def switch(self) -> object:
+        """The backend behind :attr:`device` (simulator escape hatch).
+
+        Tests and harnesses reach through here for simulator-level
+        state (``controller.switch.pipeline`` and friends); controller
+        logic itself must go through :attr:`device`.
+        """
+        return self.device.underlying
 
     def register_client(self, fid: int, mac: MacAddress) -> None:
         """Remember which client MAC owns a FID (for notices)."""
@@ -841,7 +861,7 @@ class ActiveRmtController:
             program,
             pattern,
             plan,
-            config=self.switch.config,
+            config=self.device.config,
             translation_window=TableUpdateEngine.TRANSLATION_WINDOW,
         )
         record_report(self.telemetry, report, plane="controller")
@@ -922,7 +942,7 @@ class ActiveRmtController:
                 + paged_blocks * self.snapshot_cost.per_block_seconds
             )
         # 3. Re-install entries for resized/moved applications.
-        block_words = self.switch.config.block_words
+        block_words = self.device.config.block_words
         for other in impacted:
             table_seconds += self.updater.reinstall_app(
                 other,
@@ -958,13 +978,13 @@ class ActiveRmtController:
         bytes, so the undo reloads the pre-scrub snapshot.
         """
         words = block_range.to_words(block_words)
-        registers = self.switch.pipeline.stage(stage).registers
-        previous = registers.snapshot(words.start, words.end)
-        registers.clear(words.start, words.end)
+        device = self.device
+        previous = device.read_registers(stage, words.start, words.end)
+        device.scrub_registers(stage, words.start, words.end)
         journal.record(
             f"scrub stage={stage} words=[{words.start},{words.end})",
-            lambda registers=registers, start=words.start, previous=previous: (
-                registers.load(start, previous)
+            lambda device=device, stage=stage, start=words.start, previous=previous: (
+                device.write_registers(stage, start, previous)
             ),
         )
 
@@ -998,7 +1018,7 @@ class ActiveRmtController:
     def _withdraw_tables(self, fid: int, ctx: ParentLike = None) -> float:
         reallocations = self.allocator.release(fid)
         seconds = self.updater.remove_app(fid, ctx=ctx)
-        block_words = self.switch.config.block_words
+        block_words = self.device.config.block_words
         for other in sorted(reallocations):
             seconds += self.updater.deactivate(other, ctx=ctx)
             seconds += self.updater.reinstall_app(
@@ -1021,7 +1041,7 @@ class ActiveRmtController:
     def process_pending(self) -> List[ActivePacket]:
         """Drain switch digests; returns the packets sent in reply."""
         replies: List[ActivePacket] = []
-        for digest in self.switch.poll_digests():
+        for digest in self.device.poll_digests():
             replies.extend(self.handle_digest(digest))
         return replies
 
@@ -1071,7 +1091,7 @@ class ActiveRmtController:
                     response=self.allocator.response_for(other),
                     flags=ControlFlags.REALLOC_NOTICE,
                 )
-                self.switch.inject(notice)
+                self.device.inject(notice)
                 replies.append(notice)
             response = ActivePacket.alloc_response(
                 src=self.mac,
@@ -1091,7 +1111,7 @@ class ActiveRmtController:
                 flags=ControlFlags.ALLOC_FAILED,
                 seq=packet.initial.seq,
             )
-        self.switch.inject(response)
+        self.device.inject(response)
         replies.append(response)
         return replies
 

@@ -615,6 +615,16 @@ class AdmissionService:
         with self._commit_lock:
             return self.controller.allocator.shadow()
 
+    def snapshot_shadow(self) -> ActiveRmtAllocator:
+        """Consistent copy-on-write clone of the allocator's pools.
+
+        Public form of the workers' shadow snapshot: taken under the
+        commit lock, so readers that inspect load or probe feasibility
+        (the fabric's placement policies) never race a commit.  The
+        clone is the caller's to mutate; nothing links back.
+        """
+        return self._snapshot_shadow()
+
     def _backoff(self, ticket: Union[AdmissionTicket, BatchTicket], attempt: int) -> bool:
         """Count the conflict, sleep the jittered delay; False = shed."""
         self._count("admission_commit_conflicts_total",

@@ -3,8 +3,11 @@
 Provisioning time in the paper is "dominated by the time taken to
 update table entries on the switch, including removing old entries and
 installing new ones" (Section 6.2).  The engine below performs the
-actual installs against the simulated pipeline and charges a per-entry
-latency so experiments can reproduce Figure 8a's breakdown.
+actual installs against the device's table surface
+(:class:`~repro.device.DeviceTables`) and charges a per-entry latency
+so experiments can reproduce Figure 8a's breakdown.  A bare
+:class:`~repro.switchsim.pipeline.Pipeline` is accepted for
+convenience and adapted behind :class:`~repro.device.PipelineTables`.
 
 Every mutating operation optionally records itself in a
 :class:`~repro.core.transactions.TableUpdateJournal` as a reversible
@@ -12,7 +15,7 @@ op: the undo closure captures the exact prior entry (or its absence)
 and restores it on rollback.  The controller opens one journal per
 admission transaction; when a mid-flight install trips
 :class:`~repro.switchsim.tables.TcamCapacityError`, replaying the
-journal backwards walks the pipeline through the same intermediate
+journal backwards walks the device through the same intermediate
 states in reverse, so no step of the rollback can itself exceed a
 capacity limit.
 """
@@ -20,12 +23,13 @@ capacity limit.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.blocks import BlockRange
 from repro.core.transactions import TableUpdateJournal
+from repro.device import DeviceTables, PipelineTables
 from repro.switchsim.pipeline import Pipeline
-from repro.switchsim.tables import StageGrant, StageTable
+from repro.switchsim.tables import StageGrant
 from repro.telemetry import AnyTracer, MetricsRegistry, resolve, resolve_tracer
 from repro.telemetry.tracing import ParentLike
 
@@ -58,7 +62,7 @@ def _pow2_mask(words: int) -> int:
 
 
 class TableUpdateEngine:
-    """Applies allocation decisions to the pipeline's match tables."""
+    """Applies allocation decisions to the device's match tables."""
 
     #: Stages immediately before a memory access where the controller
     #: installs translation entries for ADDR_MASK/ADDR_OFFSET.
@@ -66,12 +70,14 @@ class TableUpdateEngine:
 
     def __init__(
         self,
-        pipeline: Pipeline,
+        tables: Union[DeviceTables, Pipeline],
         cost: Optional[TableUpdateCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
         tracer: Optional[AnyTracer] = None,
     ) -> None:
-        self.pipeline = pipeline
+        if isinstance(tables, Pipeline):
+            tables = PipelineTables(tables)
+        self.tables: DeviceTables = tables
         self.cost = cost or TableUpdateCost()
         self.telemetry = resolve(telemetry)
         self.tracer = resolve_tracer(tracer)
@@ -84,49 +90,51 @@ class TableUpdateEngine:
 
     def _install_grant(
         self,
-        table: StageTable,
+        stage: int,
         grant: StageGrant,
         journal: Optional[TableUpdateJournal],
     ) -> None:
         """Install one grant; journal the exact prior entry (if any)."""
-        previous = table.grant_for(grant.fid)
-        table.install_grant(grant)
+        tables = self.tables
+        previous = tables.grant_for(stage, grant.fid)
+        tables.install_grant(stage, grant)
         if journal is not None:
 
             def undo(
-                table: StageTable = table,
+                stage: int = stage,
                 fid: int = grant.fid,
                 previous: Optional[StageGrant] = previous,
             ) -> None:
                 if previous is None:
-                    table.remove_grant(fid)
+                    tables.remove_grant(stage, fid)
                 else:
-                    table.install_grant(previous)
+                    tables.install_grant(stage, previous)
 
             journal.record(f"install_grant fid={grant.fid}", undo)
 
     def _install_translation(
         self,
-        table: StageTable,
+        stage: int,
         fid: int,
         mask: int,
         offset: int,
         journal: Optional[TableUpdateJournal],
     ) -> None:
-        previous = table.translation_for(fid)
-        table.install_translation(fid, mask=mask, offset=offset)
+        tables = self.tables
+        previous = tables.translation_for(stage, fid)
+        tables.install_translation(stage, fid, mask=mask, offset=offset)
         if journal is not None:
 
             def undo(
-                table: StageTable = table,
+                stage: int = stage,
                 fid: int = fid,
                 previous: Optional[Tuple[int, int]] = previous,
             ) -> None:
                 if previous is None:
-                    table.remove_translation(fid)
+                    tables.remove_translation(stage, fid)
                 else:
-                    table.install_translation(
-                        fid, mask=previous[0], offset=previous[1]
+                    tables.install_translation(
+                        stage, fid, mask=previous[0], offset=previous[1]
                     )
 
             journal.record(f"install_translation fid={fid}", undo)
@@ -136,11 +144,11 @@ class TableUpdateEngine:
     ) -> None:
         """Flush cached schedules; on rollback, flush again so entries
         decoded against the transaction's tables cannot survive it."""
-        self.pipeline.invalidate_program_cache(fid)
+        self.tables.invalidate_program_cache(fid)
         if journal is not None:
             journal.record(
                 f"invalidate_program_cache fid={fid}",
-                lambda: self.pipeline.invalidate_program_cache(fid),
+                lambda: self.tables.invalidate_program_cache(fid),
             )
 
     # ------------------------------------------------------------------
@@ -198,7 +206,7 @@ class TableUpdateEngine:
                 max(1, stage - self.TRANSLATION_WINDOW), stage
             ):
                 self._install_translation(
-                    self.pipeline.stage(prior).table,
+                    prior,
                     fid,
                     mask=mask,
                     offset=words.start,
@@ -209,7 +217,7 @@ class TableUpdateEngine:
         for stage, block_range in regions.items():
             words = block_range.to_words(block_words)
             self._install_grant(
-                self.pipeline.stage(stage).table,
+                stage,
                 StageGrant(
                     fid=fid,
                     start=words.start,
@@ -251,31 +259,32 @@ class TableUpdateEngine:
         self, fid: int, journal: Optional[TableUpdateJournal]
     ) -> float:
         self._invalidate_cache(fid, journal)
+        tables = self.tables
         removed_before = self.entries_removed
         seconds = 0.0
-        for stage in self.pipeline.stages:
-            removed_grant = stage.table.remove_grant(fid)
+        for stage in range(1, tables.num_stages + 1):
+            removed_grant = tables.remove_grant(stage, fid)
             if removed_grant is not None:
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
                 if journal is not None:
                     journal.record(
-                        f"remove_grant fid={fid} stage={stage.index}",
-                        lambda table=stage.table, grant=removed_grant: (
-                            table.install_grant(grant)
+                        f"remove_grant fid={fid} stage={stage}",
+                        lambda stage=stage, grant=removed_grant: (
+                            tables.install_grant(stage, grant)
                         ),
                     )
-            removed_translation = stage.table.translation_for(fid)
-            if stage.table.remove_translation(fid):
+            removed_translation = tables.translation_for(stage, fid)
+            if tables.remove_translation(stage, fid):
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
                 if journal is not None:
                     journal.record(
-                        f"remove_translation fid={fid} stage={stage.index}",
-                        lambda table=stage.table,
+                        f"remove_translation fid={fid} stage={stage}",
+                        lambda stage=stage,
                         fid=fid,
-                        pair=removed_translation: table.install_translation(
-                            fid, mask=pair[0], offset=pair[1]
+                        pair=removed_translation: tables.install_translation(
+                            stage, fid, mask=pair[0], offset=pair[1]
                         ),
                     )
         tel = self.telemetry
@@ -311,16 +320,16 @@ class TableUpdateEngine:
         else:
             span = None
         if journal is not None:
-            was_active = self.pipeline.is_active(fid)
+            was_active = self.tables.is_active(fid)
 
             def undo(fid: int = fid, was_active: bool = was_active) -> None:
                 if was_active:
-                    self.pipeline.reactivate_fid(fid)
+                    self.tables.reactivate_fid(fid)
                 else:
-                    self.pipeline.deactivate_fid(fid)
+                    self.tables.deactivate_fid(fid)
 
             journal.record(f"deactivate fid={fid}", undo)
-        self.pipeline.deactivate_fid(fid)
+        self.tables.deactivate_fid(fid)
         if span is not None:
             self.tracer.finish(span)
         return self.cost.activation_seconds
@@ -337,16 +346,16 @@ class TableUpdateEngine:
         else:
             span = None
         if journal is not None:
-            was_active = self.pipeline.is_active(fid)
+            was_active = self.tables.is_active(fid)
 
             def undo(fid: int = fid, was_active: bool = was_active) -> None:
                 if was_active:
-                    self.pipeline.reactivate_fid(fid)
+                    self.tables.reactivate_fid(fid)
                 else:
-                    self.pipeline.deactivate_fid(fid)
+                    self.tables.deactivate_fid(fid)
 
             journal.record(f"reactivate fid={fid}", undo)
-        self.pipeline.reactivate_fid(fid)
+        self.tables.reactivate_fid(fid)
         if span is not None:
             self.tracer.finish(span)
         return self.cost.activation_seconds

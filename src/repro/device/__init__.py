@@ -1,0 +1,21 @@
+"""Device abstraction layer: the runtime-control surface of a switch.
+
+The controller stack programs against :class:`Device` (or its
+table-only subset :class:`DeviceTables`), never against a concrete
+backend.  :class:`SimDevice` adapts the in-process simulator;
+:func:`as_device` coerces legacy call sites that still hand over a bare
+:class:`~repro.switchsim.switch.ActiveSwitch`.
+"""
+
+from repro.device.base import Device, DeviceError, DeviceInfo, DeviceTables
+from repro.device.sim import PipelineTables, SimDevice, as_device
+
+__all__ = [
+    "Device",
+    "DeviceError",
+    "DeviceInfo",
+    "DeviceTables",
+    "PipelineTables",
+    "SimDevice",
+    "as_device",
+]

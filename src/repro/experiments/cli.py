@@ -140,6 +140,22 @@ def _churn(quick: bool) -> str:
     return churn.main(epochs=epochs)
 
 
+def _fabric(quick: bool) -> str:
+    from repro.experiments import fabric
+
+    # ACTIVERMT_FABRIC_EPOCHS / _SHARDS scale the workload without new
+    # CLI flags (the CI smoke job pins epochs and the shard ladder).
+    epochs = int(os.environ.get("ACTIVERMT_FABRIC_EPOCHS", 0)) or (
+        10 if quick else 30
+    )
+    shards_spec = os.environ.get("ACTIVERMT_FABRIC_SHARDS", "")
+    shard_counts = (
+        tuple(int(part) for part in shards_spec.split(",") if part)
+        or ((1, 2) if quick else (1, 2, 4, 8))
+    )
+    return fabric.main(epochs=epochs, shard_counts=shard_counts)
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -158,6 +174,10 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     # Not a paper figure: Poisson churn through the concurrent
     # admission service (throughput/latency/shed vs worker count).
     "churn": _churn,
+    # Not a paper figure: the same churn workload scaled across a
+    # sharded multi-switch fabric (throughput vs shard count, plus
+    # single-shard parity and per-shard commit-log replay checks).
+    "fabric": _fabric,
 }
 
 

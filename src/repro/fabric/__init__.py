@@ -1,0 +1,35 @@
+"""Sharded multi-switch fabric over the device abstraction layer.
+
+:class:`Fabric` routes provisioning requests across N independent
+(controller, device) shards under a pluggable placement policy;
+:class:`FabricNetwork` runs end-to-end simulations against the fleet.
+"""
+
+from repro.fabric.fabric import Fabric, FabricError, Shard, replay_shard
+from repro.fabric.network import FabricNetwork
+from repro.fabric.placement import (
+    POLICY_NAMES,
+    FirstFitPlacement,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementError,
+    PlacementPolicy,
+    ShardView,
+    make_policy,
+)
+
+__all__ = [
+    "Fabric",
+    "FabricError",
+    "FabricNetwork",
+    "FirstFitPlacement",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "POLICY_NAMES",
+    "PlacementError",
+    "PlacementPolicy",
+    "Shard",
+    "ShardView",
+    "make_policy",
+    "replay_shard",
+]

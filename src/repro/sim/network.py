@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from typing import Union
+
+from repro.device import Device
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
 from repro.sim.eventloop import BatchDrain, EventLoop
@@ -48,7 +51,10 @@ class SimNetwork:
 
     Args:
         loop: the discrete-event loop driving the simulation.
-        switch: the active switch at the hub.
+        switch: the switch at the hub -- a bare
+            :class:`~repro.switchsim.switch.ActiveSwitch` or anything
+            implementing the :class:`~repro.device.Device` data-path
+            surface (``register_host``/``receive``/``receive_batch``).
         link_delay_s: one-way access-link latency.
         batch_window_s: when not None, coalesce switch arrivals within
             this window and drain them through ``receive_batch``; 0.0
@@ -59,7 +65,7 @@ class SimNetwork:
     def __init__(
         self,
         loop: EventLoop,
-        switch: ActiveSwitch,
+        switch: Union[ActiveSwitch, Device],
         link_delay_s: float = 2e-6,
         batch_window_s: Optional[float] = None,
         max_batch: Optional[int] = None,

@@ -67,7 +67,7 @@ class SimProvisioner:
     # ------------------------------------------------------------------
 
     def _poll(self) -> None:
-        for digest in self.controller.switch.poll_digests():
+        for digest in self.controller.device.poll_digests():
             if digest.ptype == PacketType.ALLOC_REQUEST:
                 self._admit(digest)
             elif digest.ptype == PacketType.CONTROL:
@@ -113,7 +113,7 @@ class SimProvisioner:
                 "rolled_back": report.rolled_back,
             }
         )
-        pipeline = self.controller.switch.pipeline
+        device = self.controller.device
         if not report.success:
             failure = ActivePacket.alloc_response(
                 src=self.controller.mac,
@@ -134,12 +134,12 @@ class SimProvisioner:
         # Phase 2: admit() left everyone active; re-impose the
         # deactivation window the protocol actually spends.
         for other in impacted:
-            pipeline.deactivate_fid(other)
-        pipeline.deactivate_fid(fid)  # newcomer waits for its response
+            device.deactivate_fid(other)
+        device.deactivate_fid(fid)  # newcomer waits for its response
 
         def reactivate() -> None:
             for other in impacted:
-                pipeline.reactivate_fid(other)
+                device.reactivate_fid(other)
                 mac = self.controller.client_mac(other)
                 if mac is None:
                     continue
@@ -152,7 +152,7 @@ class SimProvisioner:
                         flags=ControlFlags.REALLOC_NOTICE,
                     )
                 )
-            pipeline.reactivate_fid(fid)
+            device.reactivate_fid(fid)
             self.network.inject(
                 ActivePacket.alloc_response(
                     src=self.controller.mac,

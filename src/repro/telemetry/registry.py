@@ -15,8 +15,13 @@ batch, not per-packet dictionary traffic.
 
 Instruments are get-or-create by ``(name, labels)``: asking twice for
 ``counter("packets_total", fid="3")`` returns the same object, and two
-label sets under one name form one exported metric family.  Histograms
-use fixed upper-bound buckets (Prometheus ``le`` semantics) and derive
+label sets under one name form one exported metric family.  Labels are
+passed as keyword arguments and/or an explicit ``labels=`` mapping
+(``counter("admitted_total", labels={"device": "sw3"})``) -- the
+mapping form exists for label names that are not Python identifiers
+and for callers that thread a shared label dict (the fabric's
+per-device identity) through instrumented code.  Histograms use fixed
+upper-bound buckets (Prometheus ``le`` semantics) and derive
 p50/p95/p99 by linear interpolation within the owning bucket, exactly
 like ``histogram_quantile``.
 """
@@ -25,7 +30,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets for control-plane latencies, spanning the
 #: paper's Figure 5/8a range (tens of microseconds to the ~1 s
@@ -44,6 +49,27 @@ Labels = Tuple[Tuple[str, str], ...]
 
 def _label_key(labels: Dict[str, str]) -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _merge_labels(
+    labels: Optional[Mapping[str, object]], kwargs: Dict[str, object]
+) -> Dict[str, object]:
+    """Combine the explicit ``labels=`` mapping with keyword labels.
+
+    A label spelled both ways must agree -- silently preferring one
+    would make two call sites increment different series.
+    """
+    if not labels:
+        return kwargs
+    merged = dict(labels)
+    for key, value in kwargs.items():
+        if key in merged and str(merged[key]) != str(value):
+            raise ValueError(
+                f"label {key!r} given twice with different values: "
+                f"{merged[key]!r} and {value!r}"
+            )
+        merged[key] = value
+    return merged
 
 
 def format_series(name: str, labels: Labels) -> str:
@@ -197,20 +223,34 @@ class MetricsRegistry:
     # Instrument accessors (get-or-create)
     # ------------------------------------------------------------------
 
-    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
-        return self._get(Counter, name, help, labels)
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+        **kwargs: object,
+    ) -> Counter:
+        return self._get(Counter, name, help, _merge_labels(labels, kwargs))
 
-    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
-        return self._get(Gauge, name, help, labels)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, object]] = None,
+        **kwargs: object,
+    ) -> Gauge:
+        return self._get(Gauge, name, help, _merge_labels(labels, kwargs))
 
     def histogram(
         self,
         name: str,
         buckets: Optional[Sequence[float]] = None,
         help: str = "",
-        **labels: object,
+        labels: Optional[Mapping[str, object]] = None,
+        **kwargs: object,
     ) -> Histogram:
-        key = (name, _label_key(labels))
+        merged = _merge_labels(labels, kwargs)
+        key = (name, _label_key(merged))
         instrument = self._instruments.get(key)
         if instrument is None:
             with self._lock:
@@ -341,13 +381,15 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def counter(self, name: str, help: str = "", **labels: object):
+    def counter(self, name: str, help: str = "", labels=None, **kwargs: object):
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help: str = "", **labels: object):
+    def gauge(self, name: str, help: str = "", labels=None, **kwargs: object):
         return _NULL_INSTRUMENT
 
-    def histogram(self, name, buckets=None, help: str = "", **labels: object):
+    def histogram(
+        self, name, buckets=None, help: str = "", labels=None, **kwargs: object
+    ):
         return _NULL_INSTRUMENT
 
     def register_collector(self, collector) -> None:

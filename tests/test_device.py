@@ -1,0 +1,202 @@
+"""Device abstraction layer: protocol conformance and pure delegation.
+
+The contracts under test:
+
+- :class:`SimDevice` satisfies the runtime-checkable :class:`Device`
+  protocol (and :class:`PipelineTables` the :class:`DeviceTables`
+  subset), so controllers typed against the protocol accept them.
+- Every ``SimDevice`` method is a one-hop delegation: table ops,
+  register ops, digests, and injection observed through the device are
+  byte-identical to poking the wrapped switch directly.
+- :func:`as_device` coerces an ``ActiveSwitch`` (wrap), passes an
+  existing ``Device`` through, refuses to relabel one, and rejects
+  foreign objects.
+- A controller built from a raw switch still exposes it via the
+  ``.switch`` escape hatch, and never imports the simulator itself
+  (the grep-clean guarantee, pinned here as an import-graph test).
+"""
+
+import pytest
+
+from repro.controller import ActiveRmtController
+from repro.device import (
+    Device,
+    DeviceError,
+    DeviceTables,
+    PipelineTables,
+    SimDevice,
+    as_device,
+)
+from repro.switchsim import ActiveSwitch, SwitchConfig
+from repro.switchsim.tables import StageGrant
+
+
+def _device(**config_kwargs):
+    switch = ActiveSwitch(SwitchConfig(**config_kwargs))
+    return SimDevice(switch, device_id="dut"), switch
+
+
+# ----------------------------------------------------------------------
+# Protocol conformance
+# ----------------------------------------------------------------------
+
+
+def test_sim_device_satisfies_device_protocol():
+    device, _ = _device()
+    assert isinstance(device, Device)
+    assert isinstance(device, DeviceTables)
+
+
+def test_pipeline_tables_satisfies_tables_subset_only():
+    switch = ActiveSwitch(SwitchConfig())
+    tables = PipelineTables(switch.pipeline)
+    assert isinstance(tables, DeviceTables)
+    assert not isinstance(tables, Device)
+
+
+def test_device_info_mirrors_switch_config():
+    device, switch = _device()
+    info = device.info()
+    config = switch.config
+    assert info.device_id == "dut"
+    assert info.kind == "sim"
+    assert info.num_stages == config.num_stages
+    assert info.blocks_per_stage == config.blocks_per_stage
+    assert info.block_words == config.block_words
+    assert info.total_blocks == config.num_stages * config.blocks_per_stage
+
+
+def test_default_device_ids_are_unique():
+    switch = ActiveSwitch(SwitchConfig())
+    first = SimDevice(switch)
+    second = SimDevice(switch)
+    assert first.device_id != second.device_id
+    assert first.device_id.startswith("sw")
+
+
+# ----------------------------------------------------------------------
+# as_device coercion
+# ----------------------------------------------------------------------
+
+
+def test_as_device_wraps_a_raw_switch():
+    switch = ActiveSwitch(SwitchConfig())
+    device = as_device(switch, device_id="edge0")
+    assert isinstance(device, SimDevice)
+    assert device.device_id == "edge0"
+    assert device.underlying is switch
+
+
+def test_as_device_passes_an_existing_device_through():
+    device, _ = _device()
+    assert as_device(device) is device
+    assert as_device(device, device_id="dut") is device
+
+
+def test_as_device_refuses_to_relabel():
+    device, _ = _device()
+    with pytest.raises(DeviceError, match="already identifies"):
+        as_device(device, device_id="other")
+
+
+def test_as_device_rejects_foreign_objects():
+    with pytest.raises(DeviceError, match="cannot adapt"):
+        as_device(object())
+
+
+# ----------------------------------------------------------------------
+# Delegation: tables
+# ----------------------------------------------------------------------
+
+
+def test_table_ops_delegate_to_the_wrapped_pipeline():
+    device, switch = _device()
+    grant = StageGrant(fid=7, start=0, end=32, mask=0x1F, offset=0)
+    device.install_grant(2, grant)
+    assert switch.pipeline.stage(2).table.grant_for(7) == grant
+    assert device.grant_for(2, 7) == grant
+
+    device.install_translation(2, 7, mask=0x1F, offset=0)
+    assert device.translation_for(2, 7) == (0x1F, 0)
+    assert switch.pipeline.stage(2).table.translation_for(7) == (0x1F, 0)
+
+    assert device.remove_translation(2, 7) is True
+    assert device.remove_translation(2, 7) is False
+    assert device.remove_grant(2, 7) == grant
+    assert device.grant_for(2, 7) is None
+
+
+def test_activation_delegates():
+    device, switch = _device()
+    assert device.is_active(9)
+    device.deactivate_fid(9)
+    assert not switch.pipeline.is_active(9)
+    device.reactivate_fid(9)
+    assert device.is_active(9)
+
+
+# ----------------------------------------------------------------------
+# Delegation: register memory
+# ----------------------------------------------------------------------
+
+
+def test_register_roundtrip_through_the_device():
+    device, switch = _device()
+    device.write_registers(1, 4, [10, 20, 30])
+    assert device.read_registers(1, 4, 7) == [10, 20, 30]
+    assert switch.pipeline.stage(1).registers.snapshot(4, 7) == [10, 20, 30]
+
+    device.scrub_registers(1, 4, 6)
+    assert device.read_registers(1, 4, 7) == [0, 0, 30]
+
+
+def test_stats_and_digests_delegate():
+    device, switch = _device()
+    assert device.stats() == switch.stats()
+    assert device.digests_pending == switch.digests_pending
+    assert device.poll_digests() == []
+
+
+# ----------------------------------------------------------------------
+# Controller integration
+# ----------------------------------------------------------------------
+
+
+def test_controller_accepts_raw_switch_and_exposes_escape_hatch():
+    switch = ActiveSwitch(SwitchConfig())
+    controller = ActiveRmtController(switch)
+    assert isinstance(controller.device, Device)
+    assert controller.switch is switch
+    assert controller.device.underlying is switch
+
+
+def test_controller_accepts_a_device_directly():
+    device, switch = _device()
+    controller = ActiveRmtController(device)
+    assert controller.device is device
+    assert controller.switch is switch
+
+
+def test_controller_package_does_not_import_the_simulator():
+    """The refactor's grep-clean guarantee, as an import-graph check."""
+    import sys
+
+    controller_modules = [
+        name
+        for name in sys.modules
+        if name.startswith("repro.controller")
+    ]
+    assert controller_modules, "controller modules should be loaded by now"
+    for name in controller_modules:
+        module = sys.modules[name]
+        source = getattr(module, "__file__", None)
+        if source is None:
+            continue
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert "from repro.switchsim.switch import" not in text, (
+            f"{name} imports the simulator switch directly"
+        )
+        assert "import repro.switchsim.switch" not in text, (
+            f"{name} imports the simulator switch directly"
+        )

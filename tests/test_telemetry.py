@@ -71,6 +71,69 @@ def test_instrument_type_conflict_raises(registry):
 
 
 # ----------------------------------------------------------------------
+# The labels= mapping form (device-labeled fleet series)
+# ----------------------------------------------------------------------
+
+
+def test_labels_mapping_is_equivalent_to_kwargs(registry):
+    via_mapping = registry.counter("requests_total", labels={"device": "sw0"})
+    via_kwargs = registry.counter("requests_total", device="sw0")
+    assert via_mapping is via_kwargs
+
+
+def test_labels_mapping_merges_with_kwargs(registry):
+    counter = registry.counter(
+        "requests_total", labels={"device": "sw1"}, kind="admit"
+    )
+    counter.inc()
+    snap = registry.snapshot()
+    assert (
+        snap["counters"]['requests_total{device="sw1",kind="admit"}'] == 1
+    )
+
+
+def test_conflicting_duplicate_label_raises(registry):
+    with pytest.raises(ValueError, match="device"):
+        registry.counter(
+            "requests_total", labels={"device": "sw0"}, device="sw1"
+        )
+    # Agreeing duplicates are fine (the merge is a no-op).
+    counter = registry.counter(
+        "agree_total", labels={"device": "sw0"}, device="sw0"
+    )
+    assert counter is registry.counter("agree_total", device="sw0")
+
+
+def test_gauge_and_histogram_accept_labels(registry):
+    registry.gauge("shard_util", labels={"device": "sw2"}).set(0.5)
+    registry.histogram(
+        "lat", buckets=(1.0,), labels={"device": "sw2"}
+    ).observe(0.2)
+    snap = registry.snapshot()
+    assert snap["gauges"]['shard_util{device="sw2"}'] == 0.5
+    assert snap["histograms"]['lat{device="sw2"}']["count"] == 1
+
+
+def test_device_labels_render_in_prometheus_text(registry):
+    for device in ("sw1", "sw0"):
+        registry.counter(
+            "fleet_total", help="Per-device series", labels={"device": device}
+        ).inc()
+    text = prometheus_text(registry)
+    assert 'fleet_total{device="sw0"} 1' in text
+    assert 'fleet_total{device="sw1"} 1' in text
+    assert_valid_prometheus(text)
+
+
+def test_null_registry_accepts_labels_form():
+    null = NullRegistry()
+    null.counter("x_total", labels={"device": "sw0"}).inc()
+    null.gauge("g", labels={"device": "sw0"}).set(1)
+    null.histogram("h", labels={"device": "sw0"}).observe(1.0)
+    assert null.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
 # Gauge semantics
 # ----------------------------------------------------------------------
 

@@ -2,15 +2,21 @@
 
 The verifier (``findings``/``cfg``/``dataflow``/``verifier``/``lint``)
 proves safety properties of active programs before they touch a
-switch; the stats helpers predate it and remain re-exported for the
-experiments.
+switch; the isolation certifier and invariant auditor
+(``isolation``/``invariants``) extend the proofs to committed
+control-plane state; ``codelint`` turns the same discipline on the
+source tree itself.  The stats helpers predate all of this and remain
+re-exported for the experiments.
 """
 
 from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.codelint import CodeFinding, lint_paths, lint_tree
 from repro.analysis.dataflow import (
     AbstractState,
+    AddressInterval,
     DataflowResult,
     MarValue,
+    analyze_address_intervals,
     analyze_dataflow,
 )
 from repro.analysis.findings import (
@@ -23,6 +29,24 @@ from repro.analysis.findings import (
     VerifyMode,
     record_report,
     summarize_reports,
+)
+from repro.analysis.invariants import (
+    INVARIANTS,
+    AuditScope,
+    Invariant,
+    audit_journal,
+    audit_state,
+    record_audit,
+    replay_findings,
+)
+from repro.analysis.isolation import (
+    AccessProof,
+    IsolationCertificate,
+    certify_all,
+    certify_fid,
+    certify_plan,
+    effective_translations,
+    record_certificate,
 )
 from repro.analysis.lint import catalog_reports, lint_catalog
 from repro.analysis.stats import (
@@ -67,6 +91,28 @@ __all__ = [
     "summarize_reports",
     "verify_linked",
     "verify_plan",
+    # isolation certifier
+    "AccessProof",
+    "AddressInterval",
+    "IsolationCertificate",
+    "analyze_address_intervals",
+    "certify_all",
+    "certify_fid",
+    "certify_plan",
+    "effective_translations",
+    "record_certificate",
+    # invariant auditor
+    "AuditScope",
+    "INVARIANTS",
+    "Invariant",
+    "audit_journal",
+    "audit_state",
+    "record_audit",
+    "replay_findings",
+    # mutation-discipline lint
+    "CodeFinding",
+    "lint_paths",
+    "lint_tree",
     # statistics helpers
     "Summary",
     "ewma",

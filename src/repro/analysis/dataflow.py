@@ -25,12 +25,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.cfg import ControlFlowGraph
 from repro.analysis.findings import Finding
 from repro.isa.opcodes import MEMORY_OPCODES, Opcode
 from repro.isa.program import ActiveProgram
+from repro.switchsim.config import SwitchConfig
 
 
 class MarValue(enum.Enum):
@@ -276,3 +277,143 @@ def _register_findings(
             )
         )
     return found
+
+
+# ----------------------------------------------------------------------
+# Concrete address-interval analysis (the isolation certifier's input)
+# ----------------------------------------------------------------------
+
+#: The MAR is a 32-bit PHV field; every interval lives in [0, _WORD_MAX].
+_WORD_MAX = 0xFFFFFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressInterval:
+    """Inclusive interval ``[lo, hi]`` of possible MAR values.
+
+    ``TOP`` (the full 32-bit range) means "statically unbounded"; the
+    certifier classifies such accesses as runtime-checked rather than
+    statically proven.  Joins take the convex hull -- sound because the
+    concrete MAR transfer functions (``&``, ``+``) are monotone over
+    intervals.
+    """
+
+    lo: int
+    hi: int
+
+    @classmethod
+    def top(cls) -> "AddressInterval":
+        return cls(0, _WORD_MAX)
+
+    @classmethod
+    def exact(cls, value: int) -> "AddressInterval":
+        return cls(value, value)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == _WORD_MAX
+
+    @property
+    def bounded(self) -> bool:
+        """Did the analysis learn anything beyond the PHV width?"""
+        return not self.is_top
+
+    def join(self, other: "AddressInterval") -> "AddressInterval":
+        return AddressInterval(
+            min(self.lo, other.lo), max(self.hi, other.hi)
+        )
+
+    def within(self, start: int, end: int) -> bool:
+        """Is every value of the interval inside ``[start, end)``?"""
+        return start <= self.lo and self.hi < end
+
+    def disjoint(self, start: int, end: int) -> bool:
+        """Is no value of the interval inside ``[start, end)``?"""
+        return start >= end or self.hi < start or self.lo >= end
+
+    def masked(self, mask: int) -> "AddressInterval":
+        """Interval after ``mar & mask`` (mask is all-ones: 2**k - 1)."""
+        if self.hi <= mask:
+            return self  # the AND is the identity on every value
+        return AddressInterval(0, mask)
+
+    def offset(self, amount: int) -> "AddressInterval":
+        """Interval after ``mar + amount`` (TOP on 32-bit wraparound)."""
+        if self.hi + amount > _WORD_MAX:
+            return AddressInterval.top()
+        return AddressInterval(self.lo + amount, self.hi + amount)
+
+    def __str__(self) -> str:
+        return "[TOP]" if self.is_top else f"[{self.lo}, {self.hi}]"
+
+
+def _transfer_interval(
+    interval: AddressInterval,
+    op: Opcode,
+    translation: Optional[Tuple[int, int]],
+) -> AddressInterval:
+    """New MAR interval after executing *op* in a stage whose effective
+    translation entry is *translation* (``(mask, offset)`` or None).
+
+    Mirrors the runtime exactly (``switchsim/stage.py``): ADDR_MASK is
+    ``mar &= mask``, ADDR_OFFSET is ``mar += offset``; both fault when
+    no translation resolves, so the post-state is unreachable and TOP
+    is a sound (if loose) stand-in.
+    """
+    if op is Opcode.ADDR_MASK:
+        if translation is None:
+            return AddressInterval.top()
+        return interval.masked(translation[0])
+    if op is Opcode.ADDR_OFFSET:
+        if translation is None:
+            return AddressInterval.top()
+        return interval.offset(translation[1])
+    if op in (
+        Opcode.MAR_LOAD,  # client argument: any 32-bit value
+        Opcode.HASH,  # uniform digest: any 32-bit value
+        Opcode.COPY_MAR_MBR,
+        Opcode.MAR_ADD_MBR,
+        Opcode.MAR_ADD_MBR2,
+        Opcode.MAR_MBR_ADD_MBR2,
+        Opcode.BIT_AND_MAR_MBR,
+    ):
+        return AddressInterval.top()
+    return interval
+
+
+def analyze_address_intervals(
+    program: ActiveProgram,
+    translations: Mapping[int, Tuple[int, int]],
+    cfg: Optional[ControlFlowGraph] = None,
+    config: Optional[SwitchConfig] = None,
+) -> Dict[int, AddressInterval]:
+    """Per-position entry intervals of the MAR over *program*'s CFG.
+
+    *translations* maps each physical stage to the effective
+    ``(mask, offset)`` pair ADDR_MASK/ADDR_OFFSET would resolve there --
+    the explicit table entry when one is installed, else the stage's
+    own grant (the runtime's fallback).  Positions missing from the
+    result were unreachable.
+    """
+    graph = cfg if cfg is not None else ControlFlowGraph.build(program)
+    switch = config if config is not None else SwitchConfig()
+    entry: Dict[int, AddressInterval] = {}
+    if graph.num_positions:
+        entry[1] = AddressInterval.exact(0)  # parser zero-initialisation
+    for idx, instr in enumerate(program):
+        position = idx + 1
+        interval = entry.get(position)
+        if interval is None or position not in graph.reachable:
+            continue
+        stage = switch.physical_stage(position)
+        new_interval = _transfer_interval(
+            interval, instr.opcode, translations.get(stage)
+        )
+        for successor in graph.successors[position]:
+            incoming = entry.get(successor)
+            entry[successor] = (
+                new_interval
+                if incoming is None
+                else incoming.join(new_interval)
+            )
+    return entry

@@ -147,6 +147,57 @@ RULES: Dict[str, Rule] = {
             "address that static analysis cannot bound; the TCAM "
             "range match enforces the region at runtime.",
         ),
+        Rule(
+            "ARMT010",
+            "proven-out-of-region",
+            Severity.ERROR,
+            "Address-interval analysis proves a reachable memory "
+            "access lies outside every region granted to the FID in "
+            "its physical stage; the protection TCAM faults every "
+            "packet that reaches it.",
+        ),
+        Rule(
+            "ARMT011",
+            "cross-fid-region-overlap",
+            Severity.ERROR,
+            "Two FIDs' allocated (or granted) memory regions overlap "
+            "within one physical stage; the by-construction isolation "
+            "guarantee of Section 3.4 is violated.",
+        ),
+        Rule(
+            "ARMT012",
+            "grant-region-mismatch",
+            Severity.ERROR,
+            "The installed TCAM grant for a FID does not exactly "
+            "cover its allocated region (entry missing, orphaned, or "
+            "mis-ranged), so the runtime enforces a different "
+            "boundary than the allocator granted.",
+        ),
+        Rule(
+            "ARMT013",
+            "translation-escape",
+            Severity.ERROR,
+            "An installed (mask, offset) address translation can map "
+            "a masked address outside the FID's granted region, so a "
+            "fully translated access may still fault or be denied.",
+        ),
+        Rule(
+            "ARMT014",
+            "state-accounting-mismatch",
+            Severity.ERROR,
+            "Whole-state accounting is broken: per-stage block sums, "
+            "TCAM occupancy, or pool layouts disagree with the "
+            "allocator's own records.",
+        ),
+        Rule(
+            "ARMT015",
+            "replay-divergence",
+            Severity.ERROR,
+            "Serial replay of the commit log does not reproduce the "
+            "committed state byte for byte, or a transaction journal "
+            "is not undo-complete; the linearizability witness is "
+            "broken.",
+        ),
     )
 }
 

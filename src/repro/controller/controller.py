@@ -21,11 +21,36 @@ from __future__ import annotations
 import dataclasses
 import enum
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.analysis.findings import AnalysisReport, VerifyMode, record_report
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime import
+    from repro.client.compiler import CompileOptions
+
+from repro.analysis.findings import (
+    AnalysisReport,
+    Finding,
+    Severity,
+    VerifyMode,
+    record_report,
+)
+from repro.analysis.invariants import audit_state, record_audit
+from repro.analysis.isolation import (
+    IsolationCertificate,
+    certify_all,
+    certify_plan,
+    record_certificate,
+)
 from repro.analysis.verifier import verify_plan
-from repro.client.compiler import CompileOptions
 from repro.core.allocator import (
     ActiveRmtAllocator,
     AllocationDecision,
@@ -215,6 +240,11 @@ class ProvisioningReport:
     #: (None when the controller runs with ``verify="off"`` or the
     #: request carried no program).
     verification: Optional[AnalysisReport] = None
+    #: The isolation certificate for the plan behind this admission:
+    #: every reachable memory access proven in-region or runtime-checked
+    #: and region exclusivity against all incumbents (None when the
+    #: controller runs with ``verify="off"`` or no plan was produced).
+    certificate: Optional[IsolationCertificate] = None
     #: Typed outcome.  Left unset, it is derived from the legacy flags
     #: (``success``/``dry_run``/``rolled_back``) so existing
     #: construction sites stay valid; the admission service sets SHED
@@ -287,8 +317,9 @@ class ActiveRmtController:
         table_cost: Optional[TableUpdateCost] = None,
         snapshot_cost: Optional[SnapshotCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
-        verify: Union[CompileOptions, VerifyMode, str] = VerifyMode.WARN,
+        verify: Union["CompileOptions", VerifyMode, str] = VerifyMode.WARN,
         tracer: Optional[AnyTracer] = None,
+        sanitizer: bool = False,
     ) -> None:
         self.device: Device = as_device(switch)
         self.telemetry = resolve(telemetry)
@@ -298,8 +329,18 @@ class ActiveRmtController:
         #: records findings without blocking, ``off`` skips analysis
         #: entirely (byte-identical to the pre-verifier admission path).
         #: Also accepts a :class:`~repro.client.compiler.CompileOptions`
-        #: bag, whose ``verify`` field is used.
+        #: bag, whose ``verify`` field is used.  Imported lazily: the
+        #: controller sits below the client in the package layering.
+        from repro.client.compiler import CompileOptions
+
         self.verify = CompileOptions.coerce(verify).verify
+        #: Sanitizer mode: re-audit the whole committed state (pool
+        #: accounting, table entries, exclusivity) after every commit
+        #: and withdrawal.  Violations are recorded -- never raised --
+        #: in :attr:`audit_violations` and telemetry; off by default
+        #: and zero-cost when off (a single attribute test per commit).
+        self.sanitizer = sanitizer
+        self.audit_violations: List[Finding] = []
         self.allocator = ActiveRmtAllocator(
             self.device.config,
             scheme=scheme,
@@ -612,12 +653,16 @@ class ActiveRmtController:
                 f"{plans[0].basis_version}, allocator is at "
                 f"{self.allocator.version}"
             )
-        # Verify every member while nothing is mutated: one strict
-        # rejection fails the whole group without touching any state.
+        # Verify and certify every member while nothing is mutated: one
+        # strict rejection fails the whole group without touching any
+        # state.
         verifications: List[Optional[AnalysisReport]] = []
+        certificates: List[Optional[IsolationCertificate]] = []
         for plan, program in zip(plans, programs):
             verification = self._verify_admission(plan.pattern, plan, program)
             verifications.append(verification)
+            certificate = self._certify_admission(plan, program)
+            certificates.append(certificate)
             if (
                 verification is not None
                 and self.verify is VerifyMode.STRICT
@@ -626,12 +671,26 @@ class ActiveRmtController:
                 return self._reject_batch(
                     plans, verifications, rejected_by=plan, kind="verifier"
                 )
+            if (
+                certificate is not None
+                and self.verify is VerifyMode.STRICT
+                and not certificate.valid
+            ):
+                return self._reject_batch(
+                    plans,
+                    verifications,
+                    rejected_by=plan,
+                    kind="certifier",
+                    certificate=certificate,
+                )
 
         journal = TableUpdateJournal(tracer=self.tracer, ctx=ctx)
         results = []
         reports: List[ProvisioningReport] = []
         try:
-            for plan, verification in zip(plans, verifications):
+            for plan, verification, certificate in zip(
+                plans, verifications, certificates
+            ):
                 result = self.allocator.commit(plan, record=False, ctx=ctx)
                 results.append(result)
                 table_seconds, snapshot_seconds = self._apply_admission(
@@ -647,6 +706,7 @@ class ActiveRmtController:
                         snapshot_seconds=snapshot_seconds,
                         plan=plan,
                         verification=verification,
+                        certificate=certificate,
                     )
                 )
         except TcamCapacityError as exc:
@@ -689,6 +749,8 @@ class ActiveRmtController:
             self.allocator.record_decision(result.decision)
             self.reports.append(report)
             self._record_admission(report, "admitted")
+        if self.sanitizer:
+            self._sanitize()
         return reports
 
     def _reject_batch(
@@ -697,18 +759,26 @@ class ActiveRmtController:
         verifications: Sequence[Optional[AnalysisReport]],
         rejected_by: AllocationPlan,
         kind: str,
+        certificate: Optional[IsolationCertificate] = None,
     ) -> List[ProvisioningReport]:
         """Fail a whole batch before any member mutated state."""
         reasons = ""
-        verification = verifications[-1]
-        if verification is not None and verification.has_errors:
-            reasons = "; ".join(str(f) for f in verification.errors)
+        if certificate is not None:
+            reasons = "; ".join(
+                str(f)
+                for f in certificate.findings
+                if f.severity is Severity.ERROR
+            )
+        else:
+            verification = verifications[-1]
+            if verification is not None and verification.has_errors:
+                reasons = "; ".join(str(f) for f in verification.errors)
         reports = []
         for index, plan in enumerate(plans):
             if plan.state is PlanState.PENDING:
                 self.allocator.abort(plan)
             if plan is rejected_by:
-                reason = f"verifier rejected: {reasons}"
+                reason = f"{kind} rejected: {reasons}"
             else:
                 reason = (
                     f"batch aborted: fid {rejected_by.fid} rejected by "
@@ -723,6 +793,7 @@ class ActiveRmtController:
                 verification=(
                     verifications[index] if index < len(verifications) else None
                 ),
+                certificate=certificate if plan is rejected_by else None,
             )
             self.reports.append(report)
             self._record_admission(report, "verifier_rejected")
@@ -757,25 +828,45 @@ class ActiveRmtController:
         program: Optional[ActiveProgram] = None,
         ctx: ParentLike = None,
     ) -> ProvisioningReport:
-        """Verify, commit, and apply one feasible plan (or roll back)."""
+        """Verify, certify, commit, and apply one plan (or roll back)."""
         fid = plan.fid
         # Static verification of the mutant the plan would install,
         # while the plan is still pending (nothing mutated yet).
         verification = self._verify_admission(plan.pattern, plan, program)
+        # Isolation certification of the planned layout: access
+        # intervals against the granted regions, exclusivity against
+        # every incumbent.  Same lifecycle as verification -- computed
+        # pre-commit, enforced only in strict mode.
+        certificate = self._certify_admission(plan, program)
+        rejected_by: Optional[str] = None
+        reasons = ""
         if (
             verification is not None
             and self.verify is VerifyMode.STRICT
             and verification.has_errors
         ):
-            self.allocator.abort(plan)
+            rejected_by = "verifier"
             reasons = "; ".join(str(f) for f in verification.errors)
+        elif (
+            certificate is not None
+            and self.verify is VerifyMode.STRICT
+            and not certificate.valid
+        ):
+            rejected_by = "certifier"
+            reasons = "; ".join(
+                str(f) for f in certificate.findings
+                if f.severity is Severity.ERROR
+            )
+        if rejected_by is not None:
+            self.allocator.abort(plan)
             report = ProvisioningReport(
                 fid=fid,
                 success=False,
-                reason=f"verifier rejected: {reasons}",
+                reason=f"{rejected_by} rejected: {reasons}",
                 compute_seconds=plan.total_seconds,
                 plan=plan,
                 verification=verification,
+                certificate=certificate,
             )
             self.reports.append(report)
             self._record_admission(report, "verifier_rejected")
@@ -817,6 +908,7 @@ class ActiveRmtController:
                 plan=plan,
                 rolled_back=True,
                 verification=verification,
+                certificate=certificate,
             )
             self.reports.append(report)
             self._record_admission(report, "tcam_exhausted")
@@ -837,9 +929,12 @@ class ActiveRmtController:
             snapshot_seconds=snapshot_seconds,
             plan=plan,
             verification=verification,
+            certificate=certificate,
         )
         self.reports.append(report)
         self._record_admission(report, "admitted")
+        if self.sanitizer:
+            self._sanitize()
         return report
 
     def _verify_admission(
@@ -866,6 +961,118 @@ class ActiveRmtController:
         )
         record_report(self.telemetry, report, plane="controller")
         return report
+
+    def _certify_admission(
+        self,
+        plan: AllocationPlan,
+        program: Optional[ActiveProgram],
+    ) -> Optional[IsolationCertificate]:
+        """Certify the planned layout while nothing is mutated.
+
+        Joins the plan's regions with the post-plan regions of every
+        incumbent (reallocations applied) and, when the request carried
+        a program, the interval analysis of the padded mutant.  Returns
+        None when verification is off -- the certifier follows the same
+        policy knob as the verifier.
+        """
+        if self.verify is VerifyMode.OFF:
+            return None
+        certificate = certify_plan(
+            plan,
+            config=self.device.config,
+            program=program,
+            pattern=plan.pattern if program is not None else None,
+            incumbents=self._incumbent_regions(plan),
+            translation_window=TableUpdateEngine.TRANSLATION_WINDOW,
+        )
+        record_certificate(self.telemetry, certificate, plane="controller")
+        return certificate
+
+    def _incumbent_regions(
+        self, plan: AllocationPlan
+    ) -> Dict[int, Mapping[int, Tuple[int, int]]]:
+        """Post-plan word regions of every incumbent FID.
+
+        Starts from the live allocator layout and overlays the plan's
+        reallocations, so exclusivity is checked against the layout the
+        commit would actually produce.
+        """
+        block_words = self.device.config.block_words
+        incumbents: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for fid in self.allocator.resident_fids():
+            if fid == plan.fid:
+                continue
+            regions: Dict[int, Tuple[int, int]] = {}
+            for stage, block_range in self.allocator.regions_for(fid).items():
+                if block_range is None or block_range.count <= 0:
+                    continue
+                words = block_range.to_words(block_words)
+                regions[stage] = (words.start, words.end)
+            incumbents[fid] = regions
+        for fid, per_stage in plan.reallocations.items():
+            if fid == plan.fid:
+                continue
+            regions = dict(incumbents.get(fid, {}))
+            for stage, (_old, new) in per_stage.items():
+                if new is None or new.count <= 0:
+                    regions.pop(stage, None)
+                else:
+                    words = new.to_words(block_words)
+                    regions[stage] = (words.start, words.end)
+            incumbents[fid] = regions
+        return {fid: regions for fid, regions in incumbents.items()}
+
+    # ------------------------------------------------------------------
+    # State auditing (sanitizer mode + on-demand)
+    # ------------------------------------------------------------------
+
+    def audit(self) -> AnalysisReport:
+        """Audit the committed state against the invariant catalog.
+
+        Checks pool exclusivity and accounting, grant/translation
+        enforcement, orphaned entries, and TCAM occupancy against the
+        live allocator and device tables.  Violations are exported via
+        ``invariant_violations_total{rule}``; callers decide policy.
+        """
+        report = audit_state(
+            self.allocator,
+            self.device,
+            config=self.device.config,
+            translation_window=TableUpdateEngine.TRANSLATION_WINDOW,
+        )
+        record_audit(self.telemetry, report)
+        return report
+
+    def certificates(self) -> Dict[int, IsolationCertificate]:
+        """Live isolation certificates for every resident FID."""
+        certificates = certify_all(
+            self.allocator,
+            self.device,
+            config=self.device.config,
+            translation_window=TableUpdateEngine.TRANSLATION_WINDOW,
+        )
+        for certificate in certificates.values():
+            record_certificate(
+                self.telemetry, certificate, plane="controller"
+            )
+        return certificates
+
+    def _sanitize(self) -> None:
+        """Sanitizer hook: re-audit after a state-changing commit.
+
+        Never raises -- a sanitizer is a detector, not a gate.  Errors
+        accumulate in :attr:`audit_violations` for the harness to
+        assert on, and land in telemetry like any other audit.
+        """
+        report = self.audit()
+        if report.has_errors:
+            self.audit_violations.extend(report.errors)
+            self.tracer.anomaly(
+                "invariant_violation",
+                None,
+                scope="sanitizer",
+                rules=",".join(sorted({f.rule_id for f in report.errors})),
+            )
 
     def _report_dry_run(self, plan: AllocationPlan) -> ProvisioningReport:
         """Package a what-if probe: the plan is the entire result."""
@@ -1011,6 +1218,8 @@ class ActiveRmtController:
                 buckets=LATENCY_BUCKETS_S,
                 help="Modeled match-table update time per request",
             ).observe(seconds)
+        if self.sanitizer:
+            self._sanitize()
         return ProvisioningReport(
             fid=fid, success=True, table_update_seconds=seconds
         )

@@ -123,6 +123,20 @@ class DeviceTables(Protocol):
         """Remove *fid*'s translation in *stage*; True if one existed."""
         ...
 
+    # -- audit surface (the invariant auditor's read-only view) ------------
+
+    def stage_fids(self, stage: int) -> List[int]:
+        """Every FID with a grant installed in *stage* (sorted)."""
+        ...
+
+    def stage_translation_fids(self, stage: int) -> List[int]:
+        """Every FID with a translation entry in *stage* (sorted)."""
+        ...
+
+    def stage_tcam(self, stage: int) -> Tuple[int, int]:
+        """*stage*'s protection-TCAM occupancy as ``(used, capacity)``."""
+        ...
+
     # -- activation and caches --------------------------------------------
 
     def deactivate_fid(self, fid: int) -> None:

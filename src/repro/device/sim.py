@@ -81,6 +81,18 @@ class PipelineTables:
     def remove_translation(self, stage: int, fid: int) -> bool:
         return self.pipeline.stage(stage).table.remove_translation(fid)
 
+    # -- audit surface -----------------------------------------------------
+
+    def stage_fids(self, stage: int) -> List[int]:
+        return self.pipeline.stage(stage).table.fids
+
+    def stage_translation_fids(self, stage: int) -> List[int]:
+        return self.pipeline.stage(stage).table.translation_fids
+
+    def stage_tcam(self, stage: int) -> Tuple[int, int]:
+        table = self.pipeline.stage(stage).table
+        return table.tcam_used, table.tcam_capacity
+
     # -- activation and caches --------------------------------------------
 
     def deactivate_fid(self, fid: int) -> None:

@@ -1,0 +1,314 @@
+"""Offline state auditor: replay a commit log and re-certify each epoch.
+
+Not a paper figure: this is the third leg of the invariant catalog in
+:mod:`repro.analysis.invariants` (the other two are the controller's
+commit-time sanitizer and ``Fabric.audit()``).  A fixed-seed churn
+workload runs through a sanitizer-enabled controller; its commit log --
+the serialization-order witness every concurrent run must equal -- is
+then replayed entry by entry onto a fresh stack, and after *every*
+replayed commit the whole-state invariant catalog runs again and each
+admission's isolation certificate is re-derived.  The replayed final
+state must reproduce the live pools fingerprint (ARMT015 otherwise).
+
+The run ends with a rigged-mutant demonstration: a program whose
+double ``ADDR_OFFSET`` provably escapes its granted region is submitted
+to a strict-mode controller, which must reject it (ARMT010) while
+leaving allocator and table state byte-identical to before the attempt.
+
+``python -m repro.experiments audit`` exits non-zero on any violation;
+the CI ``audit-smoke`` job gates on that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.invariants import replay_findings
+from repro.apps.base import EXEMPLAR_APPS
+from repro.controller.controller import ActiveRmtController
+from repro.controller.service import CommitLogEntry, pools_fingerprint
+from repro.core.constraints import AccessPattern
+from repro.experiments.common import make_controller
+from repro.isa import assemble
+from repro.switchsim.config import SwitchConfig
+from repro.switchsim.switch import ActiveSwitch
+from repro.workloads.arrivals import (
+    ArrivalEvent,
+    DepartureEvent,
+    poisson_events,
+)
+
+#: An in-bounds single-access app used to pin the rigged program's
+#: region away from word 0 (so its escape is not a no-op offset).
+_FILLER = """
+MBR_LOAD $0
+COPY_HASHDATA_MBR
+HASH
+NOP
+ADDR_MASK
+ADDR_OFFSET
+MEM_WRITE
+RETURN
+"""
+
+#: The rigged mutant: the duplicated ADDR_OFFSET re-adds the region
+#: base, so the access interval lands provably past the granted region.
+_RIGGED = """
+MBR_LOAD $0
+COPY_HASHDATA_MBR
+HASH
+ADDR_MASK
+ADDR_OFFSET
+ADDR_OFFSET
+MEM_WRITE
+RETURN
+"""
+
+
+@dataclasses.dataclass
+class MutantDemo:
+    """Outcome of the rigged out-of-bounds admission attempt."""
+
+    rejected: bool
+    state_intact: bool
+    rules: List[str]
+    reason: str
+
+
+@dataclasses.dataclass
+class AuditResult:
+    epochs: int
+    seed: int
+    admitted: int
+    withdrawn: int
+    live_violations: List[str]
+    #: Admissions whose commit-time certificate was missing or invalid.
+    uncertified_admissions: int
+    replayed_entries: int
+    replay_violations: List[str]
+    replay_diverged: bool
+    demo: MutantDemo
+
+    @property
+    def violations(self) -> List[str]:
+        out = list(self.live_violations) + list(self.replay_violations)
+        if self.uncertified_admissions:
+            out.append(
+                f"{self.uncertified_admissions} admission(s) committed "
+                "without a valid isolation certificate"
+            )
+        if self.replay_diverged:
+            out.append("commit-log replay diverged from the live state")
+        if not self.demo.rejected:
+            out.append("rigged out-of-bounds mutant was NOT rejected")
+        if not self.demo.state_intact:
+            out.append("rigged-mutant rejection mutated committed state")
+        return out
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _format_finding(finding: Finding) -> str:
+    where = f" (stage {finding.stage})" if finding.stage is not None else ""
+    return f"[{finding.rule_id}] {finding.message}{where}"
+
+
+def _demo_rejection() -> MutantDemo:
+    """Strict mode must refuse the rigged mutant without touching state.
+
+    The 8-stage / zero-recirculation config makes the mutant's shape
+    deterministic (one pass, access at physical stage 7); the filler
+    app pins the rigged region's base to a non-zero word offset so the
+    duplicated ``ADDR_OFFSET`` provably escapes it.
+    """
+    config = SwitchConfig(
+        num_stages=8, ingress_stages=4, max_recirculations=0
+    )
+    controller = ActiveRmtController(ActiveSwitch(config), verify="strict")
+    filler = assemble(_FILLER, name="filler")
+    report = controller.admit(
+        fid=101,
+        pattern=AccessPattern.from_program(
+            filler, demands=[8], name="filler"
+        ),
+        program=filler,
+    )
+    if not report.success:
+        return MutantDemo(
+            rejected=False,
+            state_intact=True,
+            rules=[],
+            reason=f"filler admission failed: {report.reason}",
+        )
+    before = pools_fingerprint(controller.allocator)
+    rigged = assemble(_RIGGED, name="rigged")
+    rigged_report = controller.admit(
+        fid=102,
+        pattern=AccessPattern.from_program(
+            rigged, demands=[4], name="rigged"
+        ),
+        program=rigged,
+    )
+    after = pools_fingerprint(controller.allocator)
+    rules: List[str] = []
+    if rigged_report.certificate is not None:
+        rules = sorted(
+            {f.rule_id for f in rigged_report.certificate.findings}
+        )
+    return MutantDemo(
+        rejected=not rigged_report.success,
+        state_intact=before == after,
+        rules=rules,
+        reason=rigged_report.reason or "",
+    )
+
+
+def run_audit(epochs: int = 30, seed: int = 7) -> AuditResult:
+    """Churn, audit live, replay the log, re-audit every epoch."""
+    patterns = {name: spec.pattern() for name, spec in EXEMPLAR_APPS.items()}
+    pattern_of_fid: Dict[int, AccessPattern] = {}
+    log: List[CommitLogEntry] = []
+    live = make_controller(sanitizer=True)
+
+    admitted = withdrawn = 0
+    uncertified = 0
+    resident: Set[int] = set()
+    for event in poisson_events(
+        epochs=epochs, arrival_mean=2.0, departure_mean=1.0, seed=seed
+    ):
+        if isinstance(event, DepartureEvent):
+            if event.fid in resident:
+                live.withdraw(fid=event.fid)
+                log.append(("withdraw", event.fid))
+                resident.discard(event.fid)
+                withdrawn += 1
+            continue
+        assert isinstance(event, ArrivalEvent)
+        pattern = patterns[event.app_name]
+        pattern_of_fid[event.fid] = pattern
+        report = live.admit(fid=event.fid, pattern=pattern)
+        if report.success:
+            log.append(("admit", event.fid))
+            resident.add(event.fid)
+            admitted += 1
+            certificate = report.certificate
+            if certificate is None or not certificate.valid:
+                uncertified += 1
+
+    # The sanitizer audited after every commit; anything it caught is
+    # in audit_violations.  Re-audit the final state and re-derive the
+    # live certificates once more for the report.
+    live_violations = [
+        _format_finding(f) for f in live.audit_violations
+    ]
+    live_violations.extend(
+        _format_finding(f) for f in live.audit().errors
+    )
+    for fid, certificate in sorted(live.certificates().items()):
+        if not certificate.valid:
+            live_violations.append(
+                f"fid {fid}: live isolation certificate invalid"
+            )
+
+    # Entry-by-entry replay: each intermediate state must satisfy the
+    # whole catalog, and each replayed admission must certify.
+    replay = make_controller(sanitizer=False)
+    replay_violations: List[str] = []
+    for index, (kind, fid) in enumerate(log):
+        label = f"replay entry {index} ({kind} fid {fid})"
+        if kind == "admit":
+            replayed = replay.admit(fid=fid, pattern=pattern_of_fid[fid])
+            if not replayed.success:
+                replay_violations.append(
+                    f"{label}: serial replay rejected an admission the "
+                    f"live run committed: {replayed.reason}"
+                )
+                continue
+            certificate = replayed.certificate
+            if certificate is None or not certificate.valid:
+                replay_violations.append(
+                    f"{label}: no valid isolation certificate"
+                )
+        else:
+            replay.withdraw(fid=fid)
+        replay_violations.extend(
+            f"{label}: {_format_finding(f)}"
+            for f in replay.audit().errors
+        )
+
+    divergence = replay_findings(
+        pools_fingerprint(live.allocator),
+        pools_fingerprint(replay.allocator),
+        label="audit replay",
+    )
+    replay_violations.extend(_format_finding(f) for f in divergence)
+
+    return AuditResult(
+        epochs=epochs,
+        seed=seed,
+        admitted=admitted,
+        withdrawn=withdrawn,
+        live_violations=live_violations,
+        uncertified_admissions=uncertified,
+        replayed_entries=len(log),
+        replay_violations=replay_violations,
+        replay_diverged=bool(divergence),
+        demo=_demo_rejection(),
+    )
+
+
+def format_audit(result: AuditResult) -> str:
+    lines = [
+        "Offline state audit: commit-log replay + per-epoch re-certification",
+        "",
+        f"workload: {result.epochs} epochs (Poisson, seed {result.seed}) "
+        f"-> {result.admitted} admitted / {result.withdrawn} withdrawn",
+        f"commit log: {result.replayed_entries} entries replayed; "
+        "invariant catalog re-audited after every entry",
+        "",
+        f"live state: {len(result.live_violations)} violation(s); "
+        f"uncertified admissions: {result.uncertified_admissions}",
+        f"replay: {len(result.replay_violations)} violation(s); "
+        f"fingerprint {'DIVERGED' if result.replay_diverged else 'matches'}",
+        "",
+        "rigged out-of-bounds mutant (strict mode): "
+        + (
+            f"rejected ({', '.join(result.demo.rules) or 'no rules'}); "
+            f"state {'intact' if result.demo.state_intact else 'MUTATED'}"
+            if result.demo.rejected
+            else "NOT REJECTED"
+        ),
+    ]
+    if result.demo.reason:
+        lines.append(f"  reason: {result.demo.reason}")
+    if result.violations:
+        lines.append("")
+        lines.append("violations:")
+        lines.extend(f"  - {violation}" for violation in result.violations)
+    lines.append("")
+    lines.append("audit: " + ("CLEAN" if result.clean else "VIOLATIONS"))
+    return "\n".join(lines)
+
+
+def payload_for(result: AuditResult) -> Dict[str, object]:
+    """Machine-readable summary for ``--report-out``."""
+    return {
+        "epochs": result.epochs,
+        "seed": result.seed,
+        "admitted": result.admitted,
+        "withdrawn": result.withdrawn,
+        "replayed_entries": result.replayed_entries,
+        "uncertified_admissions": result.uncertified_admissions,
+        "replay_diverged": result.replay_diverged,
+        "demo": dataclasses.asdict(result.demo),
+        "violations": list(result.violations),
+        "clean": result.clean,
+    }
+
+
+def main(epochs: int = 30, seed: int = 7) -> str:
+    return format_audit(run_audit(epochs=epochs, seed=seed))

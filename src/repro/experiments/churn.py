@@ -59,6 +59,11 @@ class ChurnRow:
     p50_ms: float
     p99_ms: float
     diverged: bool
+    #: Post-run invariant-audit violations and invalid live isolation
+    #: certificates (both must be 0).
+    audit_errors: int = 0
+    invalid_certificates: int = 0
+    certificates: int = 0
 
     @property
     def throughput(self) -> float:
@@ -230,6 +235,13 @@ def run_churn(
         diverged = pools_fingerprint(controller.allocator) != pools_fingerprint(
             replay.allocator
         )
+        # Post-run state audit + per-resident isolation certificates:
+        # the concurrent run must leave a provably isolated layout.
+        audit_errors = len(controller.audit().errors)
+        live_certificates = controller.certificates()
+        invalid_certificates = sum(
+            1 for c in live_certificates.values() if not c.valid
+        )
         service.close()
         if recorder is not None:
             flight_dumps += len(recorder.dumps)
@@ -253,6 +265,9 @@ def run_churn(
                 p50_ms=_percentile(latencies, 0.50) * 1e3,
                 p99_ms=_percentile(latencies, 0.99) * 1e3,
                 diverged=diverged,
+                audit_errors=audit_errors,
+                invalid_certificates=invalid_certificates,
+                certificates=len(live_certificates),
             )
         )
 
@@ -302,6 +317,14 @@ def format_churn(result: ChurnResult) -> str:
         )
     peak = max(result.rows, key=lambda r: r.workers)
     lines.append("")
+    total_audit = sum(row.audit_errors for row in result.rows)
+    total_invalid = sum(row.invalid_certificates for row in result.rows)
+    total_certs = sum(row.certificates for row in result.rows)
+    lines.append(
+        f"state audit: {total_audit} invariant violation(s); "
+        f"{total_certs - total_invalid}/{total_certs} live isolation "
+        f"certificates valid (both must be clean)"
+    )
     lines.append(
         f"speedup at {peak.workers} workers vs 1: {result.speedup:.2f}x "
         f"(target >= 2.0x at equal rejection rate)"

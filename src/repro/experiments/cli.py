@@ -266,6 +266,50 @@ def run_lint(report_out: Optional[str] = None) -> int:
     return exit_code
 
 
+def run_audit_cli(report_out: Optional[str] = None) -> int:
+    """Offline state auditor (the ``audit`` pseudo-experiment).
+
+    Replays a fixed-seed churn commit log entry by entry, re-running
+    the invariant catalog and re-deriving every admission's isolation
+    certificate, then demonstrates the strict-mode rejection of a
+    rigged out-of-bounds mutant.  Returns 0 only when every check is
+    clean.  ``ACTIVERMT_AUDIT_EPOCHS`` scales the workload.
+    """
+    from repro.experiments import audit
+
+    epochs = int(os.environ.get("ACTIVERMT_AUDIT_EPOCHS", 0)) or 30
+    result = audit.run_audit(epochs=epochs)
+    print(audit.format_audit(result))
+    if report_out is not None:
+        import json
+
+        with open(report_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                audit.payload_for(result), handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"[audit report written to {report_out}]")
+    return 0 if result.clean else 1
+
+
+def run_codelint(root: Optional[str] = None) -> int:
+    """Mutation-discipline lint (the ``codelint`` pseudo-experiment).
+
+    Lints the installed ``repro`` package sources (or *root*) for
+    direct mutation of journaled state and layering violations;
+    returns 0 only when the tree is clean.
+    """
+    from repro.analysis.codelint import format_findings, lint_tree
+
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    findings, files = lint_tree(root)
+    print(format_findings(findings, files))
+    return 0 if not findings else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="activermt-experiments",
@@ -273,10 +317,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "lint"],
+        choices=sorted(EXPERIMENTS) + ["all", "audit", "codelint", "lint"],
         help=(
-            "which figure/table to regenerate, or 'lint' to statically "
-            "verify the bundled active programs"
+            "which figure/table to regenerate; 'lint' statically "
+            "verifies the bundled active programs, 'audit' replays a "
+            "churn commit log through the invariant auditor, and "
+            "'codelint' checks the package sources for mutation-"
+            "discipline violations"
         ),
     )
     parser.add_argument(
@@ -307,11 +354,15 @@ def main(argv=None) -> int:
         "--report-out",
         metavar="FILE",
         default=None,
-        help="(lint only) write the JSON findings summary here",
+        help="(lint/audit only) write the JSON findings summary here",
     )
     args = parser.parse_args(argv)
     if args.experiment == "lint":
         return run_lint(report_out=args.report_out)
+    if args.experiment == "audit":
+        return run_audit_cli(report_out=args.report_out)
+    if args.experiment == "codelint":
+        return run_codelint()
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.apps.base import EXEMPLAR_APPS
@@ -24,14 +25,29 @@ POLICIES: Dict[str, AllocationPolicy] = {
 }
 
 
+def sanitizer_enabled() -> bool:
+    """ACTIVERMT_SANITIZE=1 re-audits every commit during experiments."""
+    return os.environ.get("ACTIVERMT_SANITIZE", "") not in ("", "0")
+
+
 def make_controller(
     policy: AllocationPolicy = MOST_CONSTRAINED,
     scheme: AllocationScheme = AllocationScheme.WORST_FIT,
     config: Optional[SwitchConfig] = None,
+    sanitizer: Optional[bool] = None,
 ) -> ActiveRmtController:
-    """A fresh switch + controller with the given allocation settings."""
+    """A fresh switch + controller with the given allocation settings.
+
+    *sanitizer* defaults to the ``ACTIVERMT_SANITIZE`` environment knob
+    so any experiment can run with post-commit invariant audits without
+    a new CLI flag.
+    """
     switch = ActiveSwitch(config or SwitchConfig())
-    return ActiveRmtController(switch, scheme=scheme, policy=policy)
+    if sanitizer is None:
+        sanitizer = sanitizer_enabled()
+    return ActiveRmtController(
+        switch, scheme=scheme, policy=policy, sanitizer=sanitizer
+    )
 
 
 @dataclasses.dataclass

@@ -38,7 +38,7 @@ from repro.controller.service import (
     pools_fingerprint,
 )
 from repro.core.constraints import AccessPattern
-from repro.experiments.common import make_controller
+from repro.experiments.common import make_controller, sanitizer_enabled
 from repro.fabric import Fabric, replay_shard
 from repro.telemetry import MetricsRegistry, resolve
 from repro.workloads.arrivals import ArrivalEvent, DepartureEvent, poisson_events
@@ -68,6 +68,11 @@ class FabricRow:
     shed: int
     diverged: bool
     per_shard: List[ShardRow]
+    #: Fleet-wide invariant-audit violations (``Fabric.audit()``) and
+    #: invalid live isolation certificates; both must be 0.
+    audit_errors: int = 0
+    invalid_certificates: int = 0
+    certificates: int = 0
 
     @property
     def throughput(self) -> float:
@@ -213,6 +218,7 @@ def run_fabric(
     deadline_s: Optional[float] = 30.0,
     queue_limit: int = 1024,
     placement: str = "hash",
+    sanitizer: Optional[bool] = None,
 ) -> FabricResult:
     """Run one Poisson workload per shard count (same seed throughout).
 
@@ -222,6 +228,8 @@ def run_fabric(
     control plane is meant to buy.
     """
     registry = _run_registry()
+    if sanitizer is None:
+        sanitizer = sanitizer_enabled()
     events = list(
         poisson_events(
             epochs=epochs,
@@ -249,6 +257,7 @@ def run_fabric(
             default_deadline_s=deadline_s,
             pacing=pacing,
             telemetry=registry,
+            sanitizer=sanitizer,
         )
         tickets, pattern_of_fid, started = _drive(
             fabric.submit, events, patterns, deadline_s
@@ -300,6 +309,17 @@ def run_fabric(
                     utilization=shard.controller.allocator.utilization(),
                 )
             )
+        # Fleet-wide state audit + live isolation certificates, the
+        # batch counterpart of the fingerprint parity checks above.
+        audit_errors = sum(
+            len(report.errors) for report in fabric.audit().values()
+        )
+        certificates = invalid_certificates = 0
+        for shard_certs in fabric.certificates().values():
+            for certificate in shard_certs.values():
+                certificates += 1
+                if not certificate.valid:
+                    invalid_certificates += 1
         fabric.close()
 
         row = FabricRow(
@@ -311,6 +331,9 @@ def run_fabric(
             shed=shed,
             diverged=diverged,
             per_shard=per_shard,
+            audit_errors=audit_errors,
+            invalid_certificates=invalid_certificates,
+            certificates=certificates,
         )
         rows.append(row)
         if registry.enabled:
@@ -393,6 +416,14 @@ def format_fabric(result: FabricResult) -> str:
             )
     best = result.best
     lines.append("")
+    total_audit = sum(row.audit_errors for row in result.rows)
+    total_invalid = sum(row.invalid_certificates for row in result.rows)
+    total_certs = sum(row.certificates for row in result.rows)
+    lines.append(
+        f"fleet audit: {total_audit} invariant violation(s); "
+        f"{total_certs - total_invalid}/{total_certs} live isolation "
+        f"certificates valid (both must be clean)"
+    )
     lines.append(
         f"speedup at {best.shards} shards vs 1: {result.speedup:.2f}x "
         f"(target >= 2.0x at <= 5% shed)"

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.isolation import IsolationCertificate
 from repro.controller.controller import (
     ActiveRmtController,
     ProvisioningReport,
@@ -99,6 +101,19 @@ class Shard:
         """Byte-identity fingerprint of this shard's stage pools."""
         return pools_fingerprint(self.controller.allocator)
 
+    def audit(self) -> AnalysisReport:
+        """Invariant audit of this shard's committed state.
+
+        Runs the declarative catalog (:data:`repro.analysis.INVARIANTS`)
+        against the shard's live allocator and device tables -- the
+        certified counterpart of :meth:`fingerprint`'s byte identity.
+        """
+        return self.controller.audit()
+
+    def certificates(self) -> Dict[int, "IsolationCertificate"]:
+        """Live isolation certificates for every FID resident here."""
+        return self.controller.certificates()
+
 
 class Fabric:
     """Front door over a fleet of shards with fid -> shard routing.
@@ -160,6 +175,7 @@ class Fabric:
         policy: AllocationPolicy = MOST_CONSTRAINED,
         telemetry: Optional[MetricsRegistry] = None,
         tracer: Optional[AnyTracer] = None,
+        sanitizer: bool = False,
     ) -> "Fabric":
         """Build *num_shards* identical sim-backed shards.
 
@@ -185,6 +201,7 @@ class Fabric:
                 policy=policy,
                 telemetry=registry,
                 tracer=span_tracer,
+                sanitizer=sanitizer,
             )
             service = AdmissionService(
                 controller,
@@ -333,6 +350,21 @@ class Fabric:
         """Each shard's serialization-order witness, by device id."""
         return {
             shard.device_id: list(shard.commit_log) for shard in self.shards
+        }
+
+    def audit(self) -> Dict[str, AnalysisReport]:
+        """Per-device invariant audit across the whole fleet.
+
+        The batch counterpart of :meth:`fingerprint`: every shard's
+        committed state is checked against the declarative invariant
+        catalog; a clean fleet returns all-``clean`` reports.
+        """
+        return {shard.device_id: shard.audit() for shard in self.shards}
+
+    def certificates(self) -> Dict[str, Dict[int, IsolationCertificate]]:
+        """Per-device live isolation certificates for every resident."""
+        return {
+            shard.device_id: shard.certificates() for shard in self.shards
         }
 
     def stats(self) -> List[Dict[str, object]]:

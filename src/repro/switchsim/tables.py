@@ -175,3 +175,8 @@ class StageTable:
     @property
     def fids(self) -> List[int]:
         return sorted(self._grants)
+
+    @property
+    def translation_fids(self) -> List[int]:
+        """FIDs with a translation entry installed in this stage."""
+        return sorted(self._translations)

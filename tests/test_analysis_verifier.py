@@ -77,7 +77,7 @@ def _counter_pattern(program, demand=2):
 
 
 def test_rule_catalog_ids_are_stable():
-    assert sorted(RULES) == [f"ARMT00{i}" for i in range(1, 10)]
+    assert sorted(RULES) == [f"ARMT{i:03d}" for i in range(1, 16)]
     for rule_id, rule in RULES.items():
         assert rule.rule_id == rule_id
         assert rule.title and rule.description

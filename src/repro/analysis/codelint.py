@@ -53,24 +53,28 @@ MUTATOR_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
         "switchsim/pipeline.py",
         "device/sim.py",
         "controller/table_updater.py",
+        "faults/device.py",
     ),
     "remove_grant": (
         "switchsim/tables.py",
         "switchsim/pipeline.py",
         "device/sim.py",
         "controller/table_updater.py",
+        "faults/device.py",
     ),
     "install_translation": (
         "switchsim/tables.py",
         "switchsim/pipeline.py",
         "device/sim.py",
         "controller/table_updater.py",
+        "faults/device.py",
     ),
     "remove_translation": (
         "switchsim/tables.py",
         "switchsim/pipeline.py",
         "device/sim.py",
         "controller/table_updater.py",
+        "faults/device.py",
     ),
     "deactivate_fid": (
         "switchsim/pipeline.py",
@@ -78,6 +82,7 @@ MUTATOR_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
         "device/sim.py",
         "controller/table_updater.py",
         "sim/provisioner.py",
+        "faults/device.py",
     ),
     "reactivate_fid": (
         "switchsim/pipeline.py",
@@ -85,10 +90,12 @@ MUTATOR_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
         "device/sim.py",
         "controller/table_updater.py",
         "sim/provisioner.py",
+        "faults/device.py",
     ),
     "scrub_registers": (
         "device/sim.py",
         "controller/controller.py",
+        "faults/device.py",
     ),
     "load_residents": (
         "core/blocks.py",
@@ -112,6 +119,8 @@ FORBIDDEN_IMPORTS: Dict[str, Tuple[str, ...]] = {
     "repro.core": ("repro.controller", "repro.client", "repro.fabric",
                    "repro.experiments", "repro.sim"),
     "repro.device": ("repro.controller", "repro.client", "repro.fabric",
+                     "repro.experiments", "repro.sim"),
+    "repro.faults": ("repro.controller", "repro.client", "repro.fabric",
                      "repro.experiments", "repro.sim"),
     "repro.analysis": ("repro.controller", "repro.client", "repro.fabric",
                        "repro.experiments", "repro.sim"),

@@ -66,7 +66,13 @@ from repro.core.transactions import (
     TableUpdateJournal,
 )
 from repro.controller.table_updater import TableUpdateCost, TableUpdateEngine
-from repro.device import Device, as_device
+from repro.device import (
+    Device,
+    DeviceError,
+    PermanentDeviceError,
+    as_device,
+)
+from repro.faults import RetryPolicy
 from repro.isa.program import ActiveProgram
 from repro.packets.codec import ActivePacket
 from repro.packets.ethernet import MacAddress
@@ -254,6 +260,13 @@ class ProvisioningReport:
     #: resubmitting (the graceful-degradation contract -- a shed is an
     #: allocation response, not an error).
     retry_after_s: float = 0.0
+    #: What switch-side failure produced this outcome: ``"tcam"``
+    #: (capacity rejection), ``"transient"`` (retries exhausted on a
+    #: recoverable fault -- the admission service may re-plan and try
+    #: again), or ``"device"`` (permanent; the device is dead and the
+    #: controller's :attr:`~ActiveRmtController.device_failed` flag is
+    #: set).  None for clean outcomes.
+    fault: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status is None:
@@ -320,10 +333,18 @@ class ActiveRmtController:
         verify: Union["CompileOptions", VerifyMode, str] = VerifyMode.WARN,
         tracer: Optional[AnyTracer] = None,
         sanitizer: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.device: Device = as_device(switch)
         self.telemetry = resolve(telemetry)
         self.tracer = resolve_tracer(tracer)
+        #: Per-operation retry policy for transient device faults (None
+        #: = no retries, historical behavior).
+        self.retry = retry
+        #: Latched when a permanent device fault is observed (commit,
+        #: rollback, or withdrawal).  The admission service stops
+        #: fault-retrying and the fabric fails the shard over.
+        self.device_failed = False
         #: Admission-time static verification policy: ``strict`` rejects
         #: any error-severity finding before commit, ``warn`` (default)
         #: records findings without blocking, ``off`` skips analysis
@@ -353,6 +374,7 @@ class ActiveRmtController:
             table_cost,
             telemetry=self.telemetry,
             tracer=self.tracer,
+            retry=retry,
         )
         self.snapshot_cost = snapshot_cost or SnapshotCost()
         self.mac = MacAddress.from_host_id(0xC0FFEE)
@@ -370,6 +392,60 @@ class ActiveRmtController:
         logic itself must go through :attr:`device`.
         """
         return self.device.underlying
+
+    @classmethod
+    def recover(
+        cls,
+        device: Union[Device, object],
+        commit_log: Sequence[Tuple[str, int]],
+        patterns: Mapping[int, AccessPattern],
+        scheme: AllocationScheme = AllocationScheme.WORST_FIT,
+        policy: AllocationPolicy = MOST_CONSTRAINED,
+        table_cost: Optional[TableUpdateCost] = None,
+        snapshot_cost: Optional[SnapshotCost] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        verify: Union["CompileOptions", VerifyMode, str] = VerifyMode.WARN,
+        tracer: Optional[AnyTracer] = None,
+        sanitizer: bool = False,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "ActiveRmtController":
+        """Rebuild a failed controller's state onto a replacement device.
+
+        Crash recovery from the durable record: a fresh controller is
+        constructed on *device* (a fresh or replacement switch) and the
+        failed instance's commit log is replayed serially -- the same
+        linearization witness the admission service maintains -- so the
+        recovered allocator pools and device tables are byte-identical
+        to what a clean serial execution of the committed history
+        produces.  *patterns* must cover every fid the log admits.
+
+        The replacement device must be empty (same capabilities, no
+        resident state); recovery proves nothing about a device with
+        prior tenants.
+        """
+        controller = cls(
+            device,
+            scheme=scheme,
+            policy=policy,
+            table_cost=table_cost,
+            snapshot_cost=snapshot_cost,
+            telemetry=telemetry,
+            verify=verify,
+            tracer=tracer,
+            sanitizer=sanitizer,
+            retry=retry,
+        )
+        # Imported lazily: the service sits above the controller in the
+        # module graph (it imports this module at load time).
+        from repro.controller.service import replay_commit_log
+
+        replay_commit_log(list(commit_log), dict(patterns), controller)
+        if controller.telemetry.enabled:
+            controller.telemetry.counter(
+                "controller_recoveries_total",
+                help="Controllers rebuilt from a commit log onto a new device",
+            ).inc()
+        return controller
 
     def register_client(self, fid: int, mac: MacAddress) -> None:
         """Remember which client MAC owns a FID (for notices)."""
@@ -709,35 +785,48 @@ class ActiveRmtController:
                         certificate=certificate,
                     )
                 )
-        except TcamCapacityError as exc:
-            journal.rollback()
+        except (TcamCapacityError, DeviceError) as exc:
+            # A DeviceError mid-batch unwinds exactly like a TCAM
+            # rejection: the whole group rolls back, no member survives.
+            culprit = results[-1].plan.fid if results else plans[0].fid
+            fault = self._note_device_fault(exc, ctx, "batch", culprit)
+            self._rollback_journal(journal, ctx, "batch", culprit)
             for result in reversed(results):
                 self.allocator.rollback(result, ctx=ctx)
             self.tracer.anomaly(
                 "rollback",
                 ctx,
                 scope="batch",
-                fid=results[-1].plan.fid,
+                fid=culprit,
                 cause=str(exc),
+            )
+            cause = (
+                "TCAM exhausted"
+                if fault == "tcam"
+                else f"device fault ({fault})"
             )
             reports = [
                 ProvisioningReport(
                     fid=plan.fid,
                     success=False,
                     reason=(
-                        f"batch rolled back: TCAM exhausted admitting "
-                        f"fid {results[-1].plan.fid}: {exc}"
+                        f"batch rolled back: {cause} admitting "
+                        f"fid {culprit}: {exc}"
                     ),
                     compute_seconds=plan.total_seconds,
                     plan=plan,
                     rolled_back=True,
                     verification=verification,
+                    fault=fault,
                 )
                 for plan, verification in zip(plans, verifications)
             ]
             for report in reports:
                 self.reports.append(report)
-                self._record_admission(report, "tcam_exhausted")
+                self._record_admission(
+                    report,
+                    "tcam_exhausted" if fault == "tcam" else "device_fault",
+                )
             return reports
 
         journal.commit_entries()
@@ -822,6 +911,66 @@ class ActiveRmtController:
         self._record_admission(report, "no_feasible_mutant")
         return report
 
+    @staticmethod
+    def _fault_kind(exc: Exception) -> str:
+        """Classify a commit-time failure for reports and telemetry."""
+        if isinstance(exc, TcamCapacityError):
+            return "tcam"
+        if isinstance(exc, PermanentDeviceError):
+            return "device"
+        return "transient"
+
+    def _rollback_journal(
+        self,
+        journal: TableUpdateJournal,
+        ctx: ParentLike,
+        scope: str,
+        fid: int,
+    ) -> None:
+        """Replay *journal* backwards, escalating a device death.
+
+        A fault during rollback leaves the switch half-rolled-back with
+        the journal consumed -- unrecoverable in place.  The host-side
+        allocator rollback still runs (the caller restores checkpoints
+        unconditionally), the device is marked failed, and the fabric's
+        failover path rebuilds a consistent device from the commit log.
+        """
+        try:
+            journal.rollback()
+        except DeviceError as exc:
+            self.device_failed = True
+            self.tracer.anomaly(
+                "device_failed",
+                ctx,
+                scope=scope,
+                fid=fid,
+                cause=f"rollback failed: {exc}",
+            )
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "controller_device_failures_total",
+                    help="Permanent device failures observed",
+                    during="rollback",
+                ).inc()
+
+    def _note_device_fault(
+        self, exc: Exception, ctx: ParentLike, scope: str, fid: int
+    ) -> str:
+        """Record a switch-side commit failure; returns the fault kind."""
+        fault = self._fault_kind(exc)
+        if fault == "device":
+            self.device_failed = True
+            self.tracer.anomaly(
+                "device_failed", ctx, scope=scope, fid=fid, cause=str(exc)
+            )
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "controller_device_failures_total",
+                    help="Permanent device failures observed",
+                    during=scope,
+                ).inc()
+        return fault
+
     def _commit_feasible(
         self,
         plan: AllocationPlan,
@@ -888,30 +1037,44 @@ class ActiveRmtController:
             table_seconds, snapshot_seconds = self._apply_admission(
                 fid, decision, journal, ctx=ctx
             )
-        except TcamCapacityError as exc:
-            # The allocator found room in register memory but the stage
-            # TCAM cannot hold another protection range (the paper's
-            # stated bottleneck).  Replay the journal backwards (table
-            # entries, activations, register scrubs) and restore the
-            # allocator checkpoint: exact pre-request state.
-            journal.rollback()
+        except (TcamCapacityError, DeviceError) as exc:
+            # Either the stage TCAM cannot hold another protection range
+            # (the paper's stated bottleneck) or the device itself
+            # failed mid-apply (retries exhausted, or a permanent
+            # fault).  Both unwind identically: replay the journal
+            # backwards (table entries, activations, register scrubs)
+            # and restore the allocator checkpoint -- exact pre-request
+            # state.  A permanent fault additionally latches
+            # :attr:`device_failed` (the journal replay is best-effort
+            # against a dead device).
+            fault = self._note_device_fault(exc, ctx, "single", fid)
+            self._rollback_journal(journal, ctx, "single", fid)
             self.allocator.rollback(result, ctx=ctx)
             self.tracer.anomaly(
                 "rollback", ctx, scope="single", fid=fid, cause=str(exc)
+            )
+            reason = (
+                f"TCAM exhausted: {exc}"
+                if fault == "tcam"
+                else f"device fault ({fault}): {exc}"
             )
             report = ProvisioningReport(
                 fid=fid,
                 success=False,
                 decision=decision,
-                reason=f"TCAM exhausted: {exc}",
+                reason=reason,
                 compute_seconds=decision.total_seconds,
                 plan=plan,
                 rolled_back=True,
                 verification=verification,
                 certificate=certificate,
+                fault=fault,
             )
             self.reports.append(report)
-            self._record_admission(report, "tcam_exhausted")
+            self._record_admission(
+                report,
+                "tcam_exhausted" if fault == "tcam" else "device_fault",
+            )
             return report
 
         journal.commit_entries()
@@ -1187,7 +1350,9 @@ class ActiveRmtController:
         words = block_range.to_words(block_words)
         device = self.device
         previous = device.read_registers(stage, words.start, words.end)
-        device.scrub_registers(stage, words.start, words.end)
+        self.updater.guarded(
+            lambda: device.scrub_registers(stage, words.start, words.end)
+        )
         journal.record(
             f"scrub stage={stage} words=[{words.start},{words.end})",
             lambda device=device, stage=stage, start=words.start, previous=previous: (
@@ -1198,15 +1363,30 @@ class ActiveRmtController:
     def _do_withdraw(
         self, fid: int, ctx: ParentLike = None
     ) -> ProvisioningReport:
+        # A device fault mid-withdrawal does not resurrect the host-side
+        # release (the allocator freed the blocks before any table op
+        # ran): the withdrawal stands, the report carries the fault, and
+        # a permanent fault latches device_failed so the fabric fails
+        # the shard over.  Replaying the commit log onto a fresh device
+        # reconverges because the log records the withdrawal.
+        fault: Optional[str] = None
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span(
                 "controller.withdraw", parent=ctx, fid=fid
             ) as span:
-                seconds = self._withdraw_tables(fid, ctx=span)
+                try:
+                    seconds = self._withdraw_tables(fid, ctx=span)
+                except DeviceError as exc:
+                    fault = self._note_device_fault(exc, span, "withdraw", fid)
+                    seconds = 0.0
                 span.set(seconds=seconds)
         else:
-            seconds = self._withdraw_tables(fid)
+            try:
+                seconds = self._withdraw_tables(fid)
+            except DeviceError as exc:
+                fault = self._note_device_fault(exc, None, "withdraw", fid)
+                seconds = 0.0
         tel = self.telemetry
         if tel.enabled:
             tel.counter(
@@ -1218,10 +1398,10 @@ class ActiveRmtController:
                 buckets=LATENCY_BUCKETS_S,
                 help="Modeled match-table update time per request",
             ).observe(seconds)
-        if self.sanitizer:
+        if self.sanitizer and fault is None:
             self._sanitize()
         return ProvisioningReport(
-            fid=fid, success=True, table_update_seconds=seconds
+            fid=fid, success=True, table_update_seconds=seconds, fault=fault
         )
 
     def _withdraw_tables(self, fid: int, ctx: ParentLike = None) -> float:

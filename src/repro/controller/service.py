@@ -200,6 +200,7 @@ class AdmissionService:
         default_deadline_s: Optional[float] = None,
         backoff: Optional[BackoffPolicy] = None,
         retry_after_s: float = 0.05,
+        fault_retry_limit: int = 2,
         pacing: float = 0.0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
@@ -218,6 +219,11 @@ class AdmissionService:
         self.default_deadline_s = default_deadline_s
         self.backoff = backoff or BackoffPolicy()
         self.retry_after_s = retry_after_s
+        #: How many times one admission is re-planned after a commit
+        #: rolled back on a *transient* device fault (the engine's
+        #: per-operation retries already ran and lost).  Permanent
+        #: faults are never re-tried here -- the device is dead.
+        self.fault_retry_limit = fault_retry_limit
         self.pacing = pacing
         self._clock = clock
         self._sleep = sleep
@@ -446,6 +452,7 @@ class AdmissionService:
         request = ticket.request
         tracer = self.tracer
         attempt = 0
+        fault_retries = 0
         while True:
             if self._past_deadline(ticket):
                 return
@@ -500,6 +507,26 @@ class AdmissionService:
             finally:
                 if attempt_span is not None:
                     tracer.finish(attempt_span)
+            if (
+                report.rolled_back
+                and report.fault == "transient"
+                and not self.controller.device_failed
+                and fault_retries < self.fault_retry_limit
+            ):
+                # The commit rolled back cleanly because the engine's
+                # per-operation retries lost to a transient fault.  The
+                # state is byte-identical to pre-commit, so the request
+                # is safe to re-plan -- bounded, so a persistently sick
+                # device eventually surfaces as ROLLED_BACK.
+                fault_retries += 1
+                attempt += 1
+                self._count(
+                    "admission_fault_retries_total",
+                    "Admissions re-planned after a transient-fault rollback",
+                )
+                if not self._backoff(ticket, attempt):
+                    return  # deadline hit while backing off: shed
+                continue
             self._dwell(report)
             self._resolve(ticket, report)
             return

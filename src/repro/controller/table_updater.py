@@ -23,15 +23,20 @@ capacity limit.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple, Union
+import random
+import time
+from typing import Callable, Dict, Optional, Tuple, TypeVar, Union
 
 from repro.core.blocks import BlockRange
 from repro.core.transactions import TableUpdateJournal
-from repro.device import DeviceTables, PipelineTables
+from repro.device import DeviceTables, PipelineTables, TransientDeviceError
+from repro.faults import RetryPolicy, call_with_retries
 from repro.switchsim.pipeline import Pipeline
 from repro.switchsim.tables import StageGrant
 from repro.telemetry import AnyTracer, MetricsRegistry, resolve, resolve_tracer
 from repro.telemetry.tracing import ParentLike
+
+T = TypeVar("T")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +79,10 @@ class TableUpdateEngine:
         cost: Optional[TableUpdateCost] = None,
         telemetry: Optional[MetricsRegistry] = None,
         tracer: Optional[AnyTracer] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if isinstance(tables, Pipeline):
             tables = PipelineTables(tables)
@@ -81,8 +90,62 @@ class TableUpdateEngine:
         self.cost = cost or TableUpdateCost()
         self.telemetry = resolve(telemetry)
         self.tracer = resolve_tracer(tracer)
+        self.retry = retry
+        self._retry_rng = random.Random(retry_seed)
+        self._clock = clock
+        self._sleep = sleep
         self.entries_installed = 0
         self.entries_removed = 0
+        self.retries_attempted = 0
+        self.retries_healed = 0
+
+    # ------------------------------------------------------------------
+    # Retry wrapper for forward device mutations
+    # ------------------------------------------------------------------
+
+    def _note_retry(self, attempt: int, fault: TransientDeviceError) -> None:
+        self.retries_attempted += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter(
+                "device_retry_attempts_total",
+                help="Transient device faults retried by the table engine",
+            ).inc()
+
+    def _apply(self, op: Callable[[], T]) -> T:
+        """Run one forward device mutation under the retry policy.
+
+        Undo closures are deliberately *not* wrapped: a fault during
+        rollback is escalated by the controller (device marked failed)
+        rather than silently absorbed, because a half-rolled-back
+        journal is unrecoverable in place.
+        """
+        if self.retry is None:
+            return op()
+        before = self.retries_attempted
+        result = call_with_retries(
+            op,
+            self.retry,
+            self._retry_rng,
+            clock=self._clock,
+            sleep=self._sleep,
+            on_retry=self._note_retry,
+        )
+        if self.retries_attempted > before:
+            self.retries_healed += 1
+            tel = self.telemetry
+            if tel.enabled:
+                tel.counter(
+                    "device_retries_healed_total",
+                    help="Device operations that succeeded after retries",
+                ).inc()
+        return result
+
+    def guarded(self, op: Callable[[], T]) -> T:
+        """Run a caller-supplied device operation under this engine's
+        retry policy (the controller's register scrubs share the table
+        engine's budget and telemetry)."""
+        return self._apply(op)
 
     # ------------------------------------------------------------------
     # Journaled single-entry primitives
@@ -97,7 +160,7 @@ class TableUpdateEngine:
         """Install one grant; journal the exact prior entry (if any)."""
         tables = self.tables
         previous = tables.grant_for(stage, grant.fid)
-        tables.install_grant(stage, grant)
+        self._apply(lambda: tables.install_grant(stage, grant))
         if journal is not None:
 
             def undo(
@@ -122,7 +185,9 @@ class TableUpdateEngine:
     ) -> None:
         tables = self.tables
         previous = tables.translation_for(stage, fid)
-        tables.install_translation(stage, fid, mask=mask, offset=offset)
+        self._apply(
+            lambda: tables.install_translation(stage, fid, mask=mask, offset=offset)
+        )
         if journal is not None:
 
             def undo(
@@ -144,7 +209,7 @@ class TableUpdateEngine:
     ) -> None:
         """Flush cached schedules; on rollback, flush again so entries
         decoded against the transaction's tables cannot survive it."""
-        self.tables.invalidate_program_cache(fid)
+        self._apply(lambda: self.tables.invalidate_program_cache(fid))
         if journal is not None:
             journal.record(
                 f"invalidate_program_cache fid={fid}",
@@ -263,7 +328,9 @@ class TableUpdateEngine:
         removed_before = self.entries_removed
         seconds = 0.0
         for stage in range(1, tables.num_stages + 1):
-            removed_grant = tables.remove_grant(stage, fid)
+            removed_grant = self._apply(
+                lambda stage=stage: tables.remove_grant(stage, fid)
+            )
             if removed_grant is not None:
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
@@ -275,7 +342,7 @@ class TableUpdateEngine:
                         ),
                     )
             removed_translation = tables.translation_for(stage, fid)
-            if tables.remove_translation(stage, fid):
+            if self._apply(lambda stage=stage: tables.remove_translation(stage, fid)):
                 seconds += self.cost.remove_entry_seconds
                 self.entries_removed += 1
                 if journal is not None:
@@ -329,7 +396,7 @@ class TableUpdateEngine:
                     self.tables.deactivate_fid(fid)
 
             journal.record(f"deactivate fid={fid}", undo)
-        self.tables.deactivate_fid(fid)
+        self._apply(lambda: self.tables.deactivate_fid(fid))
         if span is not None:
             self.tracer.finish(span)
         return self.cost.activation_seconds
@@ -355,7 +422,7 @@ class TableUpdateEngine:
                     self.tables.deactivate_fid(fid)
 
             journal.record(f"reactivate fid={fid}", undo)
-        self.tables.reactivate_fid(fid)
+        self._apply(lambda: self.tables.reactivate_fid(fid))
         if span is not None:
             self.tracer.finish(span)
         return self.cost.activation_seconds

@@ -7,7 +7,14 @@ backend.  :class:`SimDevice` adapts the in-process simulator;
 :class:`~repro.switchsim.switch.ActiveSwitch`.
 """
 
-from repro.device.base import Device, DeviceError, DeviceInfo, DeviceTables
+from repro.device.base import (
+    Device,
+    DeviceError,
+    DeviceInfo,
+    DeviceTables,
+    PermanentDeviceError,
+    TransientDeviceError,
+)
 from repro.device.sim import PipelineTables, SimDevice, as_device
 
 __all__ = [
@@ -15,7 +22,9 @@ __all__ = [
     "DeviceError",
     "DeviceInfo",
     "DeviceTables",
+    "PermanentDeviceError",
     "PipelineTables",
     "SimDevice",
+    "TransientDeviceError",
     "as_device",
 ]

@@ -47,7 +47,34 @@ from repro.switchsim.tables import StageGrant
 
 
 class DeviceError(Exception):
-    """Raised when an object cannot be adapted into a :class:`Device`."""
+    """A device operation failed (or an object cannot be adapted).
+
+    The base of the device-fault taxonomy: control-plane code that must
+    survive switch-side failures catches this class and never the
+    concrete subclasses, so new fault kinds slot in without touching
+    the recovery paths.  Also raised by :func:`~repro.device.as_device`
+    when an object cannot be coerced into a :class:`Device`.
+    """
+
+
+class TransientDeviceError(DeviceError):
+    """A recoverable device fault: retrying the same operation may succeed.
+
+    Models the sporadic failures a real runtime-control channel shows
+    (gRPC timeouts, dropped BFRT responses, busy table managers).  The
+    :class:`~repro.faults.RetryPolicy` machinery retries exactly this
+    class; anything else propagates immediately.
+    """
+
+
+class PermanentDeviceError(DeviceError):
+    """The device is gone: no retry of any operation will succeed.
+
+    Raised by a dead device (crashed switch, severed control channel).
+    Recovery means replacing the device and rebuilding state from the
+    commit log (:meth:`ActiveRmtController.recover`) or failing the
+    shard over to survivors (:meth:`Fabric.failover`).
+    """
 
 
 @dataclasses.dataclass(frozen=True)

@@ -156,6 +156,17 @@ def _fabric(quick: bool) -> str:
     return fabric.main(epochs=epochs, shard_counts=shard_counts)
 
 
+def _chaos(quick: bool) -> str:
+    from repro.experiments import chaos
+
+    # ACTIVERMT_CHAOS_EPOCHS scales the churn between failovers without
+    # a new CLI flag (the CI chaos-smoke job pins it with a fixed seed).
+    epochs = int(os.environ.get("ACTIVERMT_CHAOS_EPOCHS", 0)) or (
+        30 if quick else 60
+    )
+    return chaos.main(epochs=epochs)
+
+
 EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "fig5": _fig5,
     "fig6": _fig6,
@@ -178,6 +189,10 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     # sharded multi-switch fabric (throughput vs shard count, plus
     # single-shard parity and per-shard commit-log replay checks).
     "fabric": _fabric,
+    # Not a paper figure: fixed-seed churn under injected device faults
+    # with two shard failovers (replace + redistribute); the run must
+    # end with clean audits and matching recovery fingerprints.
+    "chaos": _chaos,
 }
 
 

@@ -5,7 +5,13 @@
 :class:`FabricNetwork` runs end-to-end simulations against the fleet.
 """
 
-from repro.fabric.fabric import Fabric, FabricError, Shard, replay_shard
+from repro.fabric.fabric import (
+    FailoverReport,
+    Fabric,
+    FabricError,
+    Shard,
+    replay_shard,
+)
 from repro.fabric.network import FabricNetwork
 from repro.fabric.placement import (
     POLICY_NAMES,
@@ -22,6 +28,7 @@ __all__ = [
     "Fabric",
     "FabricError",
     "FabricNetwork",
+    "FailoverReport",
     "FirstFitPlacement",
     "HashPlacement",
     "LeastLoadedPlacement",

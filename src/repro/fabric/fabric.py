@@ -24,7 +24,8 @@ every shard's pool state for flight-recorder dumps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.findings import AnalysisReport
 from repro.analysis.isolation import IsolationCertificate
@@ -48,6 +49,7 @@ from repro.fabric.placement import (
     PlacementPolicy,
     make_policy,
 )
+from repro.faults import RetryPolicy
 from repro.packets.codec import ActivePacket
 from repro.switchsim.config import SwitchConfig
 from repro.switchsim.switch import ActiveSwitch
@@ -71,9 +73,14 @@ class Shard:
         self.controller = controller
         self.service = service
         self.device: Device = controller.device
+        #: Cleared by :meth:`Fabric.failover` when the shard's device is
+        #: declared dead.  A dead shard takes no traffic; its host-side
+        #: allocator and commit log stay readable for recovery.
+        self.alive = True
 
     def __repr__(self) -> str:
-        return f"Shard({self.index}, device={self.device_id!r})"
+        state = "" if self.alive else ", dead"
+        return f"Shard({self.index}, device={self.device_id!r}{state})"
 
     @property
     def device_id(self) -> str:
@@ -115,6 +122,26 @@ class Shard:
         return self.controller.certificates()
 
 
+@dataclasses.dataclass
+class FailoverReport:
+    """What :meth:`Fabric.failover` did about one dead shard.
+
+    ``mode`` is ``"replace"`` (state rebuilt onto a replacement device
+    from the commit log) or ``"redistribute"`` (residents re-admitted
+    on surviving shards, shedding what no longer fits).
+    ``fingerprint_match`` is the recovery proof in replace mode: the
+    recovered allocator's pools are byte-identical to the failed
+    shard's host-side pools.  None in redistribute mode.
+    """
+
+    index: int
+    device_id: str
+    mode: str
+    readmitted: List[int] = dataclasses.field(default_factory=list)
+    shed: List[int] = dataclasses.field(default_factory=list)
+    fingerprint_match: Optional[bool] = None
+
+
 class Fabric:
     """Front door over a fleet of shards with fid -> shard routing.
 
@@ -152,8 +179,16 @@ class Fabric:
         #: Sticky fid -> shard-index routes.  Only the submitting
         #: thread writes; shards never do.
         self._routes: Dict[int, int] = {}
+        #: Access pattern of every sticky-placed fid, kept so a shard
+        #: failover can re-admit or replay its residents (the commit log
+        #: records fids; the patterns live here).
+        self._patterns: Dict[int, AccessPattern] = {}
         if self.telemetry.enabled:
             self.telemetry.register_collector(self._collect)
+
+    def live_shards(self) -> List[Shard]:
+        """The shards currently taking traffic."""
+        return [shard for shard in self.shards if shard.alive]
 
     # ------------------------------------------------------------------
     # Construction
@@ -176,6 +211,8 @@ class Fabric:
         telemetry: Optional[MetricsRegistry] = None,
         tracer: Optional[AnyTracer] = None,
         sanitizer: bool = False,
+        device_factory: Optional[Callable[[int], Device]] = None,
+        retry: Optional["RetryPolicy"] = None,
     ) -> "Fabric":
         """Build *num_shards* identical sim-backed shards.
 
@@ -183,7 +220,11 @@ class Fabric:
         ``sw{N-1}``), controller, and admission service; *workers*,
         *queue_limit*, *pacing* etc. configure every shard's service
         identically, with per-shard backoff seeds derived from *seed*
-        so runs are reproducible.
+        so runs are reproducible.  *device_factory* overrides the
+        default sim device per index -- the chaos harness passes one
+        that wraps each device in a
+        :class:`~repro.faults.FaultyDevice`; *retry* is each
+        controller's transient-fault retry policy.
         """
         if num_shards < 1:
             raise FabricError("num_shards must be >= 1")
@@ -191,10 +232,13 @@ class Fabric:
         span_tracer = resolve_tracer(tracer)
         shards: List[Shard] = []
         for index in range(num_shards):
-            device = SimDevice(
-                ActiveSwitch(config or SwitchConfig()),
-                device_id=f"sw{index}",
-            )
+            if device_factory is not None:
+                device: Device = device_factory(index)
+            else:
+                device = SimDevice(
+                    ActiveSwitch(config or SwitchConfig()),
+                    device_id=f"sw{index}",
+                )
             controller = ActiveRmtController(
                 device,
                 scheme=scheme,
@@ -202,6 +246,7 @@ class Fabric:
                 telemetry=registry,
                 tracer=span_tracer,
                 sanitizer=sanitizer,
+                retry=retry,
             )
             service = AdmissionService(
                 controller,
@@ -236,14 +281,21 @@ class Fabric:
         return None if index is None else self.shards[index]
 
     def _place(self, fid: int, pattern: AccessPattern, sticky: bool) -> int:
-        index = self.placement.place(fid, pattern, self.shards)
-        if not 0 <= index < len(self.shards):
+        # Policies see only the live shards (dead ones take no
+        # placements); the chosen position maps back to a fleet index.
+        live = self.live_shards()
+        if not live:
+            raise FabricError("no live shards left in the fabric")
+        position = self.placement.place(fid, pattern, live)
+        if not 0 <= position < len(live):
             raise FabricError(
                 f"placement policy {self.placement.name!r} returned shard "
-                f"{index} for fid {fid}; fabric has {len(self.shards)} shards"
+                f"{position} for fid {fid}; fabric has {len(live)} live shards"
             )
+        index = live[position].index
         if sticky:
             self._routes[fid] = index
+            self._patterns[fid] = pattern
             if self.telemetry.enabled:
                 self.telemetry.counter(
                     "fabric_placements_total",
@@ -268,7 +320,13 @@ class Fabric:
             # Dry-run probes place but do not pin: a what-if must not
             # decide where the eventual real admission lands.
             index = self._place(fid, request.pattern, sticky=not request.dry_run)
-        return self.shards[index]
+        shard = self.shards[index]
+        if not shard.alive:
+            raise FabricError(
+                f"fid {fid} is routed to dead shard {index} "
+                f"({shard.device_id}); run failover({index}) first"
+            )
+        return shard
 
     def place_packet(self, packet: ActivePacket) -> int:
         """Shard index for one wire packet (data-plane steering).
@@ -334,6 +392,164 @@ class Fabric:
         return len(self.shards)
 
     # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def failover(
+        self,
+        index: int,
+        replacement: Optional[Union[Device, object]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> FailoverReport:
+        """Declare shard *index* dead and recover its applications.
+
+        With a *replacement* device (anything
+        :func:`~repro.device.as_device` accepts, empty and
+        capability-identical), the dead shard's controller state is
+        rebuilt onto it from the commit log
+        (:meth:`ActiveRmtController.recover`) and the new column takes
+        over the old routes in place; ``fingerprint_match`` proves the
+        recovered pools are byte-identical to the failed shard's
+        host-side pools.
+
+        Without a replacement, the dead shard's residents are
+        re-admitted on the surviving shards through the normal
+        placement path; whatever no longer fits anywhere is shed
+        gracefully (listed in ``shed``, routes dropped) -- the fabric
+        keeps running at reduced capacity.
+        """
+        if not 0 <= index < len(self.shards):
+            raise FabricError(f"no shard {index} in a {len(self.shards)}-shard fabric")
+        failed = self.shards[index]
+        if not failed.alive:
+            raise FabricError(f"shard {index} already failed over")
+        failed.alive = False
+        mode = "replace" if replacement is not None else "redistribute"
+        self.tracer.anomaly(
+            "shard_failed",
+            None,
+            device=failed.device_id,
+            index=index,
+            mode=mode,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "fabric_failovers_total",
+                help="Shard failovers performed, by mode",
+                labels={"device": failed.device_id, "mode": mode},
+            ).inc()
+        residents = sorted(failed.controller.allocator.resident_fids())
+        # Routes of fids no longer resident (withdrawn history) must not
+        # pin future re-admissions to the dead column.
+        for fid, routed in list(self._routes.items()):
+            if routed == index and fid not in residents:
+                del self._routes[fid]
+        missing = [fid for fid in residents if fid not in self._patterns]
+        if missing:
+            raise FabricError(
+                f"cannot fail over shard {index}: no recorded access "
+                f"pattern for resident fids {missing}"
+            )
+        if replacement is not None:
+            return self._failover_replace(index, failed, replacement, residents)
+        return self._failover_redistribute(index, failed, residents, deadline_s)
+
+    def _failover_replace(
+        self,
+        index: int,
+        failed: Shard,
+        replacement: Union[Device, object],
+        residents: List[int],
+    ) -> FailoverReport:
+        """Rebuild the dead shard's state onto *replacement*, in place."""
+        old = failed.controller
+        recovered = ActiveRmtController.recover(
+            replacement,
+            failed.commit_log,
+            self._patterns,
+            scheme=old.allocator.scheme,
+            policy=old.allocator.policy,
+            telemetry=old.telemetry,
+            tracer=self.tracer,
+            sanitizer=old.sanitizer,
+            retry=old.retry,
+        )
+        match = pools_fingerprint(recovered.allocator) == pools_fingerprint(
+            old.allocator
+        )
+        old_service = failed.service
+        service = AdmissionService(
+            recovered,
+            workers=old_service.workers,
+            queue_limit=old_service.queue_limit,
+            default_deadline_s=old_service.default_deadline_s,
+            retry_after_s=old_service.retry_after_s,
+            fault_retry_limit=old_service.fault_retry_limit,
+            pacing=old_service.pacing,
+            telemetry=old_service.telemetry,
+            tracer=self.tracer,
+        )
+        # The replacement column inherits the serialization history: its
+        # log must replay to the state it starts from, so audits and
+        # replay_shard() keep holding across the failover.
+        service.commit_log.extend(failed.commit_log)
+        self.shards[index] = Shard(index, recovered, service)
+        self.shards[index].alive = True
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "fabric_recovery_fingerprint_match",
+                help="1 when the recovered shard's pools matched the failed one",
+                labels={"device": failed.device_id},
+            ).set(1.0 if match else 0.0)
+        return FailoverReport(
+            index=index,
+            device_id=failed.device_id,
+            mode="replace",
+            readmitted=list(residents),
+            fingerprint_match=match,
+        )
+
+    def _failover_redistribute(
+        self,
+        index: int,
+        failed: Shard,
+        residents: List[int],
+        deadline_s: Optional[float],
+    ) -> FailoverReport:
+        """Re-admit the dead shard's residents on the survivors."""
+        report = FailoverReport(
+            index=index, device_id=failed.device_id, mode="redistribute"
+        )
+        for fid in residents:
+            pattern = self._patterns[fid]
+            self._routes.pop(fid, None)
+            outcome = self.submit_and_wait(
+                ProvisioningRequest.admission(fid, pattern),
+                deadline_s=deadline_s,
+            )
+            if outcome.success:
+                report.readmitted.append(fid)
+            else:
+                # Graceful shed: the application lost its slot with the
+                # shard; it may resubmit later.
+                report.shed.append(fid)
+                self._routes.pop(fid, None)
+                self._patterns.pop(fid, None)
+        if self.telemetry.enabled:
+            labels = {"device": failed.device_id}
+            self.telemetry.counter(
+                "fabric_failover_readmitted_total",
+                help="Applications re-admitted on survivors after a failover",
+                labels=labels,
+            ).inc(len(report.readmitted))
+            self.telemetry.counter(
+                "fabric_failover_shed_total",
+                help="Applications shed because no survivor could host them",
+                labels=labels,
+            ).inc(len(report.shed))
+        return report
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
 
@@ -344,7 +560,11 @@ class Fabric:
         fingerprint=fabric.fingerprint)``) so every anomaly dump
         captures the whole fleet's pool state at trigger time.
         """
-        return {shard.device_id: shard.fingerprint() for shard in self.shards}
+        return {
+            shard.device_id: shard.fingerprint()
+            for shard in self.shards
+            if shard.alive
+        }
 
     def commit_logs(self) -> Dict[str, List[CommitLogEntry]]:
         """Each shard's serialization-order witness, by device id."""
@@ -359,12 +579,18 @@ class Fabric:
         committed state is checked against the declarative invariant
         catalog; a clean fleet returns all-``clean`` reports.
         """
-        return {shard.device_id: shard.audit() for shard in self.shards}
+        return {
+            shard.device_id: shard.audit()
+            for shard in self.shards
+            if shard.alive
+        }
 
     def certificates(self) -> Dict[str, Dict[int, IsolationCertificate]]:
         """Per-device live isolation certificates for every resident."""
         return {
-            shard.device_id: shard.certificates() for shard in self.shards
+            shard.device_id: shard.certificates()
+            for shard in self.shards
+            if shard.alive
         }
 
     def stats(self) -> List[Dict[str, object]]:
@@ -375,6 +601,7 @@ class Fabric:
             rows.append(
                 {
                     "device": shard.device_id,
+                    "alive": shard.alive,
                     "utilization": allocator.utilization(),
                     "resident_fids": len(allocator.resident_fids()),
                     "commits": len(shard.commit_log),
@@ -390,6 +617,8 @@ class Fabric:
     def _collect(self, registry: MetricsRegistry) -> None:
         """Refresh per-device gauges on every scrape (pull-style)."""
         for shard in self.shards:
+            if not shard.alive:
+                continue
             allocator = shard.controller.allocator
             labels = {"device": shard.device_id}
             registry.gauge(

@@ -1,0 +1,132 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultPlan` decides, per device operation, whether to inject a
+fault and of which kind.  Decisions are a pure function of ``(seed,
+operation index)``: the plan draws one Bernoulli variate per mutating
+operation from its own :class:`random.Random`, so the same seed always
+produces the same fault schedule regardless of wall clock, thread
+interleaving, or how the surrounding workload evolved.  That is what
+makes chaos runs replayable -- the CI gate pins a seed and asserts
+exact outcome counts.
+
+The fault model (DESIGN.md section 17):
+
+==============  =====================================================
+kind            semantics
+==============  =====================================================
+``TRANSIENT``   op raises :class:`TransientDeviceError` *before*
+                applying; an immediate retry may succeed
+``PARTIAL``     op applies, *then* raises ``TransientDeviceError`` --
+                the caller cannot tell it applied.  Table operations
+                are idempotent, so the retry heals the ambiguity
+``DELAY``       op applies after a modeled stall (injected sleep)
+``DROP_DIGEST`` a queued digest is silently discarded on poll
+``PERMANENT``   the device dies at a scheduled operation index; every
+                later call raises :class:`PermanentDeviceError`
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import Optional
+
+
+class FaultKind(enum.Enum):
+    """What a scheduled fault does to one device operation."""
+
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+    DROP_DIGEST = "drop_digest"
+    DELAY = "delay"
+    PARTIAL = "partial"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultDecision:
+    """One scheduled injection: which op it hits and what it does."""
+
+    kind: FaultKind
+    op_index: int
+    op: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}@{self.op_index}({self.op})"
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Seed-driven per-operation fault schedule.
+
+    Args:
+        seed: seeds the plan's private RNG; decisions are a pure
+            function of (seed, op index).
+        transient_rate: probability a mutating op raises a
+            :class:`TransientDeviceError` before applying.
+        partial_rate: probability a mutating op applies and *then*
+            raises (ambiguous outcome; retry heals it).
+        delay_rate: probability a mutating op stalls for *delay_s*
+            before applying.
+        delay_s: modeled stall length for DELAY faults.
+        digest_drop_rate: probability one queued digest is discarded.
+        kill_at_op: op index at which the device dies permanently
+            (None = never).  Counted over mutating ops only, so the
+            kill point is workload-deterministic.
+        max_transients: cap on TRANSIENT+PARTIAL+DELAY injections
+            (None = unlimited).  Lets a schedule guarantee that retry
+            budgets eventually win.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    partial_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    digest_drop_rate: float = 0.0
+    kill_at_op: Optional[int] = None
+    max_transients: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "partial_rate", "delay_rate", "digest_drop_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = random.Random(self.seed)
+        self._digest_rng = random.Random(self.seed ^ 0x5EED)
+        self.op_index = 0
+        self.injected = 0
+
+    def decide(self, op: str) -> Optional[FaultDecision]:
+        """The fault (if any) scheduled for the next mutating op.
+
+        Advances the op counter; one call per attempted device
+        mutation.  Retries of a faulted op re-enter here with fresh
+        indices, so a retry can itself be faulted (and a bounded
+        ``max_transients`` guarantees it eventually is not).
+        """
+        index = self.op_index
+        self.op_index += 1
+        if self.kill_at_op is not None and index >= self.kill_at_op:
+            return FaultDecision(FaultKind.PERMANENT, index, op)
+        draw = self._rng.random()
+        if self.max_transients is not None and self.injected >= self.max_transients:
+            return None
+        threshold = 0.0
+        for rate, kind in (
+            (self.transient_rate, FaultKind.TRANSIENT),
+            (self.partial_rate, FaultKind.PARTIAL),
+            (self.delay_rate, FaultKind.DELAY),
+        ):
+            threshold += rate
+            if draw < threshold:
+                self.injected += 1
+                return FaultDecision(kind, index, op)
+        return None
+
+    def decide_digest(self) -> bool:
+        """True when the next queued digest should be dropped."""
+        if self.digest_drop_rate <= 0.0:
+            return False
+        return self._digest_rng.random() < self.digest_drop_rate
